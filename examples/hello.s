@@ -1,0 +1,43 @@
+; hello.s — a complete G86 program for the vat_asm toolchain.
+;
+;   dune exec bin/vat_asm.exe -- run examples/hello.s
+;   dune exec bin/vat_asm.exe -- run examples/hello.s --vm --stats
+;   dune exec bin/vat_asm.exe -- build examples/hello.s -o /tmp/hello.vbin
+;   dune exec bin/vat_asm.exe -- dis /tmp/hello.vbin
+
+start:
+    mov   esi, data
+    mov   eax, 0
+    mov   ecx, 10
+sum:                       ; eax = 10+9+...+1
+    add   eax, ecx
+    dec   ecx
+    jne   sum
+
+    ; store and reload through memory
+    mov   [esi], eax
+    add   eax, [esi]
+
+    ; write(1, msg, 14)
+    push  eax
+    mov   ebx, 1
+    mov   ecx, msg
+    mov   edx, 14
+    mov   eax, 4
+    int   0x80
+    pop   ebx
+
+    ; exit(eax mod 100)
+    mov   eax, ebx
+    xor   edx, edx
+    mov   ecx, 100
+    div   ecx
+    mov   ebx, edx
+    mov   eax, 1
+    int   0x80
+
+msg:
+    .ascii "hello from .s\n"
+    .align 4096
+data:
+    .space 64

@@ -1,0 +1,51 @@
+; strings.s — exercise the string operations and conditional moves.
+;
+;   dune exec bin/vat_asm.exe -- run examples/strings.s --vm
+
+start:
+    mov   esi, data
+    ; fill 26 bytes with 'A'..'A' then bump each to make the alphabet
+    mov   edi, data
+    mov   eax, 0x41          ; 'A'
+    mov   ecx, 26
+    rep stosb
+    mov   ecx, 0
+bump:
+    movzxb eax, [esi + ecx]
+    add   eax, ecx
+    movb  [esi + ecx], eax
+    inc   ecx
+    cmp   ecx, 26
+    jl    bump
+    ; copy the alphabet after itself, twice, with rep movsb
+    push  esi
+    mov   edi, data
+    add   edi, 26
+    mov   ecx, 52            ; overlapping forward copy doubles it
+    rep movsb
+    pop   esi
+    ; print 52 bytes
+    mov   ebx, 1
+    mov   ecx, data
+    mov   edx, 52
+    mov   eax, 4
+    int   0x80
+    ; newline
+    mov   ebx, 1
+    mov   ecx, nl
+    mov   edx, 1
+    mov   eax, 4
+    int   0x80
+    ; exit code: max('Z', 'A') via cmov
+    movzxb eax, [esi + 25]
+    movzxb ecx, [esi]
+    cmp   eax, ecx
+    cmovl eax, ecx
+    mov   ebx, eax
+    mov   eax, 1
+    int   0x80
+
+nl: .ascii "\n"
+    .align 4096
+data:
+    .space 256
