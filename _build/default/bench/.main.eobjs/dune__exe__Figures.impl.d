@@ -1,0 +1,1 @@
+bench/figures.ml: Analysis Config Exec Fabric Hashtbl List Metrics Printf Stats String Suite Vat_core Vat_desim Vat_guest Vat_refmodel Vat_workloads Vm

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Figures List Micro

@@ -1,0 +1,155 @@
+(* vat_run: run a benchmark (or all of them) on a chosen virtual
+   architecture and report slowdown and statistics.
+
+   Examples:
+     vat_run --list
+     vat_run mcf
+     vat_run gcc --translators 1 --no-speculation
+     vat_run gzip --config 1m9t
+     vat_run parser --morph 15 --stats *)
+
+open Cmdliner
+open Vat_core
+open Vat_workloads
+
+let build_config base translators banks l15 no_spec no_opt no_chain morph =
+  let cfg =
+    match base with
+    | Some "1m9t" -> Config.trans_heavy Config.default
+    | Some "4m6t" -> Config.mem_heavy Config.default
+    | Some other -> failwith ("unknown --config " ^ other)
+    | None -> Config.default
+  in
+  let cfg =
+    match translators with Some n -> { cfg with Config.n_translators = n } | None -> cfg
+  in
+  let cfg = match banks with Some n -> { cfg with Config.n_l2d_banks = n } | None -> cfg in
+  let cfg = match l15 with Some n -> { cfg with Config.n_l15_banks = n } | None -> cfg in
+  let cfg = if no_spec then { cfg with Config.speculation = false } else cfg in
+  let cfg = if no_opt then { cfg with Config.optimize = false } else cfg in
+  let cfg = if no_chain then { cfg with Config.chaining = false } else cfg in
+  match morph with
+  | Some threshold ->
+    { cfg with Config.morph = Config.Morph { threshold; dwell = 25000 } }
+  | None -> cfg
+
+let run_one cfg show_stats (b : Suite.benchmark) =
+  let piii = Vat_refmodel.Piii.run (Suite.load b) in
+  let rv = Vm.run ~fuel:100_000_000 cfg (Suite.load b) in
+  let outcome =
+    match rv.outcome with
+    | Exec.Exited n -> Printf.sprintf "exit %d" n
+    | Exec.Fault m -> "fault: " ^ m
+    | Exec.Out_of_fuel -> "out of fuel"
+  in
+  Printf.printf
+    "%-14s %-12s %9d guest insns %11d cycles   slowdown %6.2f\n" b.name
+    outcome rv.guest_insns rv.cycles
+    (Vm.slowdown rv ~piii_cycles:piii.cycles);
+  if show_stats then begin
+    Format.printf "%a" Metrics.pp_result rv;
+    Format.printf "%a" Vat_desim.Stats.pp rv.stats
+  end
+
+let main list_benches bench base translators banks l15 no_spec no_opt no_chain
+    morph show_stats =
+  if list_benches then begin
+    List.iter
+      (fun (b : Suite.benchmark) ->
+        Printf.printf "%-14s %s\n" b.name b.description)
+      Suite.all;
+    `Ok ()
+  end
+  else
+    match
+      build_config base translators banks l15 no_spec no_opt no_chain morph
+    with
+    | exception Failure msg -> `Error (false, msg)
+    | cfg -> (
+      match Config.validate cfg with
+      | Error msg -> `Error (false, "invalid configuration: " ^ msg)
+      | Ok () -> (
+        match bench with
+        | Some name -> (
+          match Suite.find name with
+          | b ->
+            run_one cfg show_stats b;
+            `Ok ()
+          | exception Not_found ->
+            `Error (false, "unknown benchmark " ^ name ^ " (try --list)"))
+        | None ->
+          List.iter (run_one cfg show_stats) Suite.all;
+          `Ok ()))
+
+let cmd =
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the benchmark suite.")
+  in
+  let bench =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH"
+          ~doc:"Benchmark to run (e.g. mcf or 181.mcf); all when omitted.")
+  in
+  let base =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config" ] ~docv:"NAME"
+          ~doc:"Base configuration: 1m9t (9 translators, 1 L2D bank) or 4m6t.")
+  in
+  let translators =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "translators" ] ~docv:"N" ~doc:"Translator slave tiles (1-9).")
+  in
+  let banks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "banks" ] ~docv:"N" ~doc:"L2 data-cache bank tiles (1-4).")
+  in
+  let l15 =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "l15" ] ~docv:"N" ~doc:"L1.5 code-cache banks (0-2).")
+  in
+  let no_spec =
+    Arg.(
+      value & flag
+      & info [ "no-speculation" ]
+          ~doc:"Conservative translator: translate only on demand.")
+  in
+  let no_opt =
+    Arg.(value & flag & info [ "no-opt" ] ~doc:"Disable the block optimizer.")
+  in
+  let no_chain =
+    Arg.(value & flag & info [ "no-chain" ] ~doc:"Disable branch chaining.")
+  in
+  let morph =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "morph" ] ~docv:"THRESHOLD"
+          ~doc:"Enable dynamic reconfiguration with this queue threshold.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print detailed statistics.")
+  in
+  let term =
+    Term.(
+      ret
+        (const main $ list_flag $ bench $ base $ translators $ banks $ l15
+        $ no_spec $ no_opt $ no_chain $ morph $ stats))
+  in
+  Cmd.v
+    (Cmd.info "vat_run" ~version:"1.0"
+       ~doc:
+         "Run SpecInt-surrogate benchmarks on the virtual architecture \
+          (parallel dynamic binary translation on a tiled processor)")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/multi_guest.ml: Fabric Printf Suite Vat_core Vat_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Config Exec Format Interp Metrics Printf Program Syscall Vat_core Vat_guest Vat_refmodel Vm

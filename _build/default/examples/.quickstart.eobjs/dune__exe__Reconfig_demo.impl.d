@@ -1,0 +1,1 @@
+examples/reconfig_demo.ml: Array Config Metrics Printf Stats Suite Sys Vat_core Vat_desim Vat_refmodel Vat_workloads Vm

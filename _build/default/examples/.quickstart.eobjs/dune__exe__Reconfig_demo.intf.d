@@ -1,0 +1,1 @@
+examples/reconfig_demo.mli:

@@ -1,0 +1,1 @@
+examples/smc_demo.ml: Asm Config Exec Interp Printf Program Stats Syscall Vat_core Vat_desim Vat_guest Vm

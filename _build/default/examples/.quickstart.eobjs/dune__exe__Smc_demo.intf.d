@@ -1,0 +1,1 @@
+examples/smc_demo.mli:

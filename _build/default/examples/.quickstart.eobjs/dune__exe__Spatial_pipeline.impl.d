@@ -1,0 +1,1 @@
+examples/spatial_pipeline.ml: Asm Config Printf Program Suite Syscall Vat_core Vat_guest Vat_workloads Vm

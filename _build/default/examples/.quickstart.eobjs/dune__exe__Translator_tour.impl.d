@@ -1,0 +1,1 @@
+examples/translator_tour.ml: Array Asm Block Config Decode Format Insn Mem Printf Program Syscall Translate Vat_core Vat_guest

@@ -1,0 +1,1 @@
+examples/translator_tour.mli:

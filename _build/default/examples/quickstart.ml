@@ -1,0 +1,70 @@
+(* Quickstart: write a guest program with the assembler DSL, check it on
+   the reference interpreter, then run it on the full virtual architecture
+   and compare against the Pentium III model.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Vat_guest
+open Vat_core
+open Asm.Dsl
+
+(* A guest program: compute the 25th Fibonacci number (mod 2^32), print a
+   greeting via the write syscall, and exit with fib(25) mod 100. *)
+let items =
+  [ label "start";
+    mov (r eax) (i 0);                    (* fib(n-1) *)
+    mov (r ebx) (i 1);                    (* fib(n) *)
+    mov (r ecx) (i 25);
+    label "fib";
+    mov (r edx) (r eax);
+    add (r edx) (r ebx);                  (* fib(n+1) *)
+    mov (r eax) (r ebx);
+    mov (r ebx) (r edx);
+    dec (r ecx);
+    jne "fib";
+    push (r ebx) ]
+  @ sys_write_buf ~buf:"msg" ~len:(i 14)
+  @ [ pop (r ebx);
+      (* exit(fib(25) mod 100) *)
+      mov (r eax) (r ebx);
+      xor (r edx) (r edx);
+      mov (r ecx) (i 100);
+      div (r ecx);
+      mov (r ebx) (r edx);
+      mov (r eax) (i Syscall.sys_exit);
+      int_ Syscall.vector;
+      label "msg";
+      Asm.Ascii "hello from G86\n";
+      Asm.Align 4096;
+      label "data";
+      Asm.Space 64 ]
+
+let () =
+  (* 1. Reference interpreter: the semantic oracle. *)
+  let interp = Interp.create (Program.of_asm items) in
+  let oi = Interp.run ~fuel:100_000 interp in
+  Printf.printf "interpreter: %s, %d guest instructions, output %S\n"
+    (match oi with
+     | Interp.Exited n -> Printf.sprintf "exit %d" n
+     | Interp.Fault m -> "fault " ^ m
+     | Interp.Out_of_fuel -> "out of fuel")
+    (Interp.instret interp) (Interp.output interp);
+
+  (* 2. The full virtual architecture (translator + 16-tile machine). *)
+  let rv = Vm.run ~fuel:100_000 Config.default (Program.of_asm items) in
+  Printf.printf "virtual machine: %s in %d cycles, output %S\n"
+    (match rv.outcome with
+     | Exec.Exited n -> Printf.sprintf "exit %d" n
+     | Exec.Fault m -> "fault " ^ m
+     | Exec.Out_of_fuel -> "out of fuel")
+    rv.cycles rv.output;
+  assert (Interp.digest interp = rv.digest);
+  print_endline "interpreter and translated execution agree (digest match)";
+
+  (* 3. Clock-for-clock comparison against the Pentium III model. *)
+  let piii = Vat_refmodel.Piii.run (Program.of_asm items) in
+  Printf.printf "PIII model: %d cycles -> slowdown %.1fx\n" piii.cycles
+    (Vm.slowdown rv ~piii_cycles:piii.cycles);
+
+  (* 4. A few of the statistics every run collects. *)
+  Format.printf "%a" Metrics.pp_result rv

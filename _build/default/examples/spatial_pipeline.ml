@@ -1,0 +1,89 @@
+(* Spatial pipeline parallelism demo (paper Section 2.2): the guest
+   data-memory system is a pipeline of tiles (MMU -> banked L2 -> DRAM),
+   and the execution engine scoreboards loads so independent work overlaps
+   with outstanding misses.
+
+   Two kernels make the two effects visible separately:
+   - a streaming sum over four independent 64 KB regions (loads are
+     independent -> the scoreboard overlaps misses, banks add bandwidth);
+   - the mcf pointer chase (loads are dependent -> only bank capacity and
+     parallelism help; the scoreboard cannot).
+
+   Run with: dune exec examples/spatial_pipeline.exe *)
+
+open Vat_guest
+open Vat_core
+open Vat_workloads
+open Asm.Dsl
+
+let region = 65536
+
+(* Four interleaved streaming sums: the loads in one iteration touch four
+   different regions and are mutually independent. *)
+let streaming_kernel =
+  [ label "start";
+    mov (r esi) (isym "data");
+    mov (r edi) (i 0);
+    label "sum";
+    add (r eax) (m ~base:esi ~index:(edi, S1) ());
+    add (r ebx) (m ~base:esi ~index:(edi, S1) ~disp:region ());
+    add (r ecx) (m ~base:esi ~index:(edi, S1) ~disp:(2 * region) ());
+    add (r edx) (m ~base:esi ~index:(edi, S1) ~disp:(3 * region) ());
+    add (r edi) (i 32);
+    cmp (r edi) (i region);
+    jl "sum";
+    mov (r ebx) (r eax);
+    and_ (r ebx) (i 0x7F);
+    mov (r eax) (i Syscall.sys_exit);
+    int_ Syscall.vector;
+    Asm.Align 4096;
+    label "data";
+    Asm.Space (4 * region) ]
+
+let run_cfg prog_items name cfg =
+  let rv = Vm.run ~fuel:50_000_000 cfg (Program.of_asm prog_items) in
+  Printf.printf "%-34s cycles %9d\n" name rv.cycles;
+  rv.cycles
+
+let () =
+  print_endline "Streaming kernel (independent loads over 256 KB):";
+  let base = Config.mem_heavy Config.default in
+  let c1 = run_cfg streaming_kernel "4 banks, scoreboarded loads" base in
+  let c2 =
+    run_cfg streaming_kernel "4 banks, blocking loads"
+      { base with scoreboard = false }
+  in
+  let c3 =
+    run_cfg streaming_kernel "1 bank, scoreboarded loads"
+      { base with n_l2d_banks = 1 }
+  in
+  let c4 =
+    run_cfg streaming_kernel "1 bank, blocking loads"
+      { base with n_l2d_banks = 1; scoreboard = false }
+  in
+  Printf.printf "scoreboard benefit: %.1f%% (4 banks), %.1f%% (1 bank)\n"
+    (100. *. float_of_int (c2 - c1) /. float_of_int c2)
+    (100. *. float_of_int (c4 - c3) /. float_of_int c4);
+  Printf.printf
+    "banking benefit: %.1f%% (streaming misses everything; the serial MMU\n\
+     stage, not bank bandwidth, is the bottleneck)\n\n"
+    (100. *. float_of_int (c3 - c1) /. float_of_int c3);
+
+  print_endline "mcf pointer chase (dependent loads -- only banks can help):";
+  let b = Suite.find "mcf" in
+  let items = b.Suite.program () in
+  let m1 = run_cfg items "4 banks, scoreboarded loads" base in
+  let m2 =
+    run_cfg items "4 banks, blocking loads" { base with scoreboard = false }
+  in
+  let m3 =
+    run_cfg items "1 bank, scoreboarded loads" { base with n_l2d_banks = 1 }
+  in
+  Printf.printf "scoreboard benefit: %.1f%% (dependent chain: none expected)\n"
+    (100. *. float_of_int (m2 - m1) /. float_of_int m2);
+  Printf.printf "banking benefit: %.1f%% (the 112 KB arc array fits 4 banks)\n"
+    (100. *. float_of_int (m3 - m1) /. float_of_int m3);
+  print_endline
+    "\n(Independent loads overlap in the pipelined memory system; a\n\
+     dependent chase is latency-bound, so only bank capacity and\n\
+     parallelism matter — spatial pipeline parallelism in action.)"

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Config Grid Layout Vat_tiled

@@ -1,0 +1,1 @@
+lib/core/block.ml: Array Format Hencode Hinsn Vat_host

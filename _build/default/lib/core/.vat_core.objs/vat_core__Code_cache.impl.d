@@ -1,0 +1,1 @@
+lib/core/code_cache.ml: Block Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/code_cache.mli: Block

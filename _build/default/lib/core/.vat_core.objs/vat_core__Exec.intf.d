@@ -1,0 +1,1 @@
+lib/core/exec.mli: Config Event_queue Insn Layout Manager Memsys Program Stats Vat_desim Vat_guest

@@ -1,0 +1,1 @@
+lib/core/fabric.ml: Config Event_queue Exec Float Manager Stats Vat_desim Vm

@@ -1,0 +1,1 @@
+lib/core/fabric.mli: Exec Program Stats Vat_desim Vat_guest

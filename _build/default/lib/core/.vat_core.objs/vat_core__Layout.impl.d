@@ -1,0 +1,1 @@
+lib/core/layout.ml: Array Grid Vat_tiled

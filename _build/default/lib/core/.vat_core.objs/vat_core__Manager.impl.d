@@ -1,0 +1,1 @@
+lib/core/manager.ml: Array Block Code_cache Config Event_queue Hashtbl Layout List Option Service Spec Stats Translate Vat_desim Vat_tiled

@@ -1,0 +1,1 @@
+lib/core/manager.mli: Block Config Event_queue Layout Stats Vat_desim

@@ -1,0 +1,1 @@
+lib/core/memsys.ml: Array Cache Config Event_queue Layout Mem Printf Service Stats Vat_desim Vat_guest Vat_tiled

@@ -1,0 +1,1 @@
+lib/core/memsys.mli: Config Event_queue Layout Stats Vat_desim

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Format List Stats Vat_desim Vm

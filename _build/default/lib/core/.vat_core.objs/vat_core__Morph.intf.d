@@ -1,0 +1,1 @@
+lib/core/morph.mli: Config Event_queue Manager Memsys Stats Vat_desim

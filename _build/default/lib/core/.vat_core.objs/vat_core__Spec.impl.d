@@ -1,0 +1,1 @@
+lib/core/spec.ml: Array Block Config Hashtbl Option Queue Stats Vat_desim

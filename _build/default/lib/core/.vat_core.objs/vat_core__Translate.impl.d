@@ -1,0 +1,1 @@
+lib/core/translate.ml: Array Block Config Decode Emit Flag_liveness Flags Hinsn Insn Lblock List Mem Opt Option Printf Regalloc Sched Syscall Vat_guest Vat_host Vat_ir

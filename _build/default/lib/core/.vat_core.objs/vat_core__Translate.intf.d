@@ -1,0 +1,1 @@
+lib/core/translate.mli: Block Config Vat_guest Vat_host

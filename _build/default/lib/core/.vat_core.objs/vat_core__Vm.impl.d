@@ -1,0 +1,1 @@
+lib/core/vm.ml: Config Event_queue Exec Grid Layout Manager Mem Memsys Morph Option Program Stats Vat_desim Vat_guest Vat_tiled

@@ -1,0 +1,1 @@
+lib/core/vm.mli: Config Event_queue Exec Manager Memsys Program Stats Vat_desim Vat_guest

@@ -1,0 +1,1 @@
+lib/core/xrun.ml: Array Block Char Config Flags Hashtbl Hexec Hinsn List Mem Printf Program Regalloc String Syscall Translate Vat_guest Vat_host Vat_ir

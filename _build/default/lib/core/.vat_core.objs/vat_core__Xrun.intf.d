@@ -1,0 +1,1 @@
+lib/core/xrun.mli: Config Insn Program Vat_guest

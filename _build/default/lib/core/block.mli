@@ -1,0 +1,48 @@
+open Vat_host
+
+(** A translated code block: the unit of the code caches.
+
+    A block covers one guest basic block (up to a configured instruction
+    budget). Its body is linearized, register-allocated H-ISA code; control
+    leaves through the typed terminator. Conditions and indirect targets
+    are communicated from body code to terminator through the dedicated
+    link register {!term_reg}, which register allocation never touches. *)
+
+val term_reg : Hinsn.reg
+(** r30. *)
+
+type term =
+  | T_jmp of { target : int }
+  | T_jcc of { taken : int; fall : int }
+      (** Taken iff {!term_reg} is nonzero at block exit. *)
+  | T_jind of { kind : ind_kind }
+      (** Guest target address is in {!term_reg}. *)
+  | T_call of { target : int; ret : int }
+  | T_syscall of { next : int }
+  | T_fault of string
+
+and ind_kind = K_jump | K_call of int | K_ret
+(** [K_call ret] records the fall-through return address (the return
+    predictor uses it at translation time). *)
+
+type t = {
+  guest_addr : int;
+  guest_len : int;            (** guest bytes covered *)
+  guest_insns : int;
+  code : Hinsn.t array;       (** hardware registers only *)
+  term : term;
+  optimized : bool;
+  translation_cycles : int;   (** slave occupancy to produce this block *)
+  page_lo : int;
+  page_hi : int;              (** guest pages covered, for SMC invalidation *)
+}
+
+val size_bytes : t -> int
+(** Instruction-memory footprint: 4 bytes per instruction plus an 8-byte
+    terminator stub. *)
+
+val direct_successors : t -> (int * [ `Taken | `Fall | `Target | `Ret ]) list
+(** Statically known successor guest addresses, labelled for the
+    speculation engine's prediction heuristics. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,177 @@
+module L1 = struct
+  type entry = {
+    block : Block.t;
+    mutable chain_taken : entry option;
+    mutable chain_fall : entry option;
+  }
+
+  type t = {
+    capacity : int;
+    table : (int, entry) Hashtbl.t;
+    mutable used : int;
+    mutable flushes : int;
+    mutable installs : int;
+  }
+
+  let create ~capacity =
+    { capacity; table = Hashtbl.create 256; used = 0; flushes = 0; installs = 0 }
+
+  let find t addr = Hashtbl.find_opt t.table addr
+
+  let flush t =
+    Hashtbl.reset t.table;
+    t.used <- 0;
+    t.flushes <- t.flushes + 1
+
+  let install t (block : Block.t) =
+    let size = Block.size_bytes block in
+    if t.used + size > t.capacity then flush t;
+    let entry = { block; chain_taken = None; chain_fall = None } in
+    Hashtbl.replace t.table block.guest_addr entry;
+    t.used <- t.used + size;
+    t.installs <- t.installs + 1;
+    entry
+
+  let used_bytes t = t.used
+  let flushes t = t.flushes
+  let installs t = t.installs
+end
+
+module L15 = struct
+  type slot = { block : Block.t; mutable last_use : int }
+
+  type t = {
+    capacity : int;
+    table : (int, slot) Hashtbl.t;
+    mutable used : int;
+    mutable tick : int;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ~capacity =
+    { capacity; table = Hashtbl.create 256; used = 0; tick = 0; hits = 0;
+      misses = 0 }
+
+  let find t addr =
+    t.tick <- t.tick + 1;
+    match Hashtbl.find_opt t.table addr with
+    | Some slot ->
+      slot.last_use <- t.tick;
+      t.hits <- t.hits + 1;
+      Some slot.block
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+
+  let evict_one t =
+    let victim = ref None in
+    Hashtbl.iter
+      (fun addr slot ->
+        match !victim with
+        | Some (_, s) when s.last_use <= slot.last_use -> ()
+        | _ -> victim := Some (addr, slot))
+      t.table;
+    match !victim with
+    | Some (addr, slot) ->
+      Hashtbl.remove t.table addr;
+      t.used <- t.used - Block.size_bytes slot.block
+    | None -> ()
+
+  let install t (block : Block.t) =
+    let size = Block.size_bytes block in
+    if size > t.capacity then ()
+    else begin
+      (match Hashtbl.find_opt t.table block.guest_addr with
+       | Some old ->
+         Hashtbl.remove t.table block.guest_addr;
+         t.used <- t.used - Block.size_bytes old.block
+       | None -> ());
+      while t.used + size > t.capacity && Hashtbl.length t.table > 0 do
+        evict_one t
+      done;
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.table block.guest_addr { block; last_use = t.tick };
+      t.used <- t.used + size
+    end
+
+  let drop_page t page =
+    let doomed = ref [] in
+    Hashtbl.iter
+      (fun addr slot ->
+        if slot.block.page_lo <= page && page <= slot.block.page_hi then
+          doomed := (addr, slot) :: !doomed)
+      t.table;
+    List.iter
+      (fun (addr, slot) ->
+        Hashtbl.remove t.table addr;
+        t.used <- t.used - Block.size_bytes slot.block)
+      !doomed
+
+  let hits t = t.hits
+  let misses t = t.misses
+end
+
+module L2 = struct
+  type t = {
+    capacity : int;
+    table : (int, Block.t) Hashtbl.t;
+    pages : (int, int) Hashtbl.t; (* page -> number of blocks touching it *)
+    mutable used : int;
+  }
+
+  let create ~capacity =
+    { capacity; table = Hashtbl.create 4096; pages = Hashtbl.create 256; used = 0 }
+
+  let add_pages t (block : Block.t) delta =
+    for p = block.page_lo to block.page_hi do
+      let n = Option.value ~default:0 (Hashtbl.find_opt t.pages p) + delta in
+      if n <= 0 then Hashtbl.remove t.pages p else Hashtbl.replace t.pages p n
+    done
+
+  let find t addr = Hashtbl.find_opt t.table addr
+  let mem t addr = Hashtbl.mem t.table addr
+
+  let remove t addr =
+    match Hashtbl.find_opt t.table addr with
+    | None -> ()
+    | Some block ->
+      Hashtbl.remove t.table addr;
+      t.used <- t.used - Block.size_bytes block;
+      add_pages t block (-1)
+
+  let install t (block : Block.t) =
+    remove t block.guest_addr;
+    (* The 105 MB cache never fills in practice; if it somehow does, drop
+       arbitrary entries (the hash table has no useful recency order). *)
+    if t.used + Block.size_bytes block > t.capacity then begin
+      let excess = ref (t.used + Block.size_bytes block - t.capacity) in
+      let doomed = ref [] in
+      (try
+         Hashtbl.iter
+           (fun addr b ->
+             if !excess <= 0 then raise Exit;
+             doomed := addr :: !doomed;
+             excess := !excess - Block.size_bytes b)
+           t.table
+       with Exit -> ());
+      List.iter (remove t) !doomed
+    end;
+    Hashtbl.replace t.table block.guest_addr block;
+    t.used <- t.used + Block.size_bytes block;
+    add_pages t block 1
+
+  let blocks t = Hashtbl.length t.table
+  let used_bytes t = t.used
+
+  let page_has_code t ~page = Hashtbl.mem t.pages page
+
+  let invalidate_page t ~page =
+    let doomed = ref [] in
+    Hashtbl.iter
+      (fun addr (b : Block.t) ->
+        if b.page_lo <= page && page <= b.page_hi then doomed := addr :: !doomed)
+      t.table;
+    List.iter (remove t) !doomed;
+    List.length !doomed
+end

@@ -1,0 +1,63 @@
+(** The three-level code cache (data structures; timing lives in the
+    engine and the service tiles).
+
+    - {!L1}: the execution tile's instruction memory. Tight packing with
+      whole-cache flush when full, exactly the paper's algorithm; chaining
+      links live here because only L1-resident code has a known absolute
+      position.
+    - {!L15}: a banked on-chip victim store of translated blocks (one or
+      two tiles); LRU within each bank; no chaining.
+    - {!L2}: the manager tile's main-memory code cache (paper: 105 MB in
+      off-chip DRAM), plus the translated-page registry used to detect
+      self-modifying code. *)
+
+module L1 : sig
+  type entry = {
+    block : Block.t;
+    mutable chain_taken : entry option;
+    mutable chain_fall : entry option;
+  }
+
+  type t
+
+  val create : capacity:int -> t
+  val find : t -> int -> entry option
+  val install : t -> Block.t -> entry
+  (** Flushes everything first if the block does not fit. *)
+
+  val flush : t -> unit
+  val used_bytes : t -> int
+  val flushes : t -> int
+  val installs : t -> int
+end
+
+module L15 : sig
+  type t
+
+  val create : capacity:int -> t
+  val find : t -> int -> Block.t option
+  val install : t -> Block.t -> unit
+  (** Evicts least-recently-used blocks until the new one fits. *)
+
+  val drop_page : t -> int -> unit
+  val hits : t -> int
+  val misses : t -> int
+end
+
+module L2 : sig
+  type t
+
+  val create : capacity:int -> t
+  val find : t -> int -> Block.t option
+  val install : t -> Block.t -> unit
+  val mem : t -> int -> bool
+  val blocks : t -> int
+  val used_bytes : t -> int
+
+  val page_has_code : t -> page:int -> bool
+  (** True when translated blocks cover the guest page — the check behind
+      self-modifying-code detection. *)
+
+  val invalidate_page : t -> page:int -> int
+  (** Drop all blocks overlapping the page; returns how many. *)
+end

@@ -1,0 +1,99 @@
+(** Virtual-architecture configuration: tile-role allocation, capacities,
+    and calibrated cycle costs.
+
+    The cost constants are calibrated so the simulated memory-system
+    intrinsics match the paper's Figure 11 (emulator L1 data hit latency 6 /
+    occupancy 4; L2 data hit latency and occupancy 87; L2 miss latency 151)
+    and translation occupies slave tiles for realistic spans. *)
+
+type morph_policy =
+  | No_morph
+  | Morph of { threshold : int; dwell : int }
+      (** Reconfigure between translator-heavy (9 trans / 1 L2D bank) and
+          memory-heavy (6 trans / 4 L2D banks) when the translate-queue
+          length crosses [threshold]; [dwell] is the minimum number of
+          cycles between reconfigurations (hysteresis). *)
+
+type t = {
+  (* Tile-role structure. The grid has 16 tiles: 1 runtime-execution,
+     1 MMU/TLB, 1 manager/L2 code cache, 1 syscall, [n_l15_banks] L1.5
+     banks, and the remaining tiles split between translator slaves and L2
+     data-cache banks. *)
+  n_translators : int;
+  n_l2d_banks : int;
+  n_l15_banks : int;
+  (* Feature toggles (ablations). *)
+  speculation : bool;
+  optimize : bool;
+  chaining : bool;
+  return_predictor : bool;
+  priority_queues : bool;   (** false = one FIFO regardless of depth *)
+  scoreboard : bool;        (** false = every load stalls to completion *)
+  superblocks : bool;
+      (** Merge translation across forward direct jumps: longer blocks for
+          the optimizer to chew on, at the cost of code duplication when
+          execution enters mid-trace (bigger code-cache footprint). *)
+  morph : morph_policy;
+  (* Capacities. *)
+  l1_code_bytes : int;
+  l15_bank_bytes : int;
+  l2_code_bytes : int;
+  l1d_bytes : int;
+  l1d_ways : int;
+  l2d_bank_bytes : int;
+  l2d_ways : int;
+  line_bytes : int;
+  tlb_entries : int;
+  max_block_insns : int;     (** guest instructions per translation block *)
+  (* Execution-tile costs. *)
+  l1d_hit_latency : int;
+  l1d_occupancy : int;
+  dispatch_cycles : int;     (** L1 code-cache lookup in the dispatch loop *)
+  chain_cycles : int;        (** chained block-to-block transfer *)
+  l1_install_bytes_per_cycle : int;
+  smc_check_cycles : int;    (** per-store translated-page check *)
+  max_outstanding : int;     (** in-flight load misses under the scoreboard *)
+  (* Code-cache service costs. *)
+  l15_lookup_cycles : int;
+  mgr_lookup_cycles : int;
+  mgr_install_cycles : int;
+  (* Translation costs (slave occupancy). *)
+  translate_base_cycles : int;
+  translate_per_guest_insn : int;
+  optimize_per_host_insn : int;
+  (* Data-memory pipeline costs. *)
+  mmu_tlb_hit_cycles : int;
+  mmu_walk_cycles : int;
+  l2d_bank_cycles : int;
+  dram_cycles : int;
+  writeback_cycles : int;
+  (* Syscall tile. *)
+  syscall_base_cycles : int;
+  syscall_per_byte_cycles : int;
+  (* Reconfiguration costs. *)
+  morph_flush_per_line : int;
+  morph_role_switch_cycles : int;
+  sample_interval : int;
+}
+
+val default : t
+(** 6 translators / 4 L2D banks / 2 L1.5 banks, speculation and
+    optimization on, no morphing. *)
+
+val fixed_tiles : int
+(** Tiles not available to the translator/L2D pool (exec, MMU, manager,
+    syscall) — L1.5 banks are additional. *)
+
+val pool_tiles : t -> int
+(** Translator + L2D tiles this configuration uses. *)
+
+val validate : t -> (unit, string) result
+(** Check the role allocation fits the 16-tile grid and parameters are
+    sane. *)
+
+val trans_heavy : t -> t
+(** The 9-translator / 1-bank end of the morphing pair, preserving other
+    settings. *)
+
+val mem_heavy : t -> t
+(** The 6-translator / 4-bank end. *)

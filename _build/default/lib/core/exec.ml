@@ -1,0 +1,505 @@
+open Vat_desim
+open Vat_guest
+open Vat_host
+open Vat_ir
+open Vat_tiled
+
+type outcome =
+  | Exited of int
+  | Fault of string
+  | Out_of_fuel
+
+let scratch_base = Xrun.scratch_base
+
+type syscall_req = {
+  s_eax : int;
+  s_ebx : int;
+  s_ecx : int;
+  s_edx : int;
+  s_reply : Syscall.result -> unit;
+}
+
+(* Why the engine is not currently running. *)
+type wait_state =
+  | Running
+  | Wait_reg of int * int      (* register, resume pc *)
+  | Wait_capacity of int       (* resume pc (retry the load) *)
+  | Wait_fill
+  | Wait_syscall
+  | Finished
+
+type t = {
+  q : Event_queue.t;
+  stats : Stats.t;
+  cfg : Config.t;
+  layout : Layout.t;
+  prog : Program.t;
+  manager : Manager.t;
+  memsys : Memsys.t;
+  world : Syscall.world;
+  regs : int array;
+  scratch : int array;
+  ready_at : int array;        (* per register: cycle the value is usable *)
+  pending : bool array;        (* per register: miss reply outstanding *)
+  l1 : Code_cache.L1.t;
+  l1d : Cache.t;
+  syscall_svc : syscall_req Service.t;
+  mutable t_local : int;
+  mutable outstanding : int;
+  mutable entry : Code_cache.L1.entry option;
+  mutable pc : int;
+  mutable wait : wait_state;
+  mutable fuel : int;
+  mutable guest_insns : int;
+  mutable outcome : outcome option;
+  mutable on_finish : outcome -> unit;
+}
+
+let create q stats cfg layout prog ~manager ~memsys ?input () =
+  let regs = Array.make 32 0 in
+  regs.(Translate.guest_pin ESP) <- prog.Program.initial_esp;
+  regs.(Regalloc.scratch_base_reg) <- scratch_base;
+  let world = Syscall.create_world ?input ~brk0:prog.Program.brk0 () in
+  let syscall_svc =
+    Service.create q ~name:"syscall"
+      ~serve:(fun { s_eax; s_ebx; s_ecx; s_edx; s_reply } ->
+        let occupancy =
+          cfg.Config.syscall_base_cycles
+          + (if s_eax = Syscall.sys_write || s_eax = Syscall.sys_read then
+               cfg.Config.syscall_per_byte_cycles * (s_edx land 0xFFFF)
+             else 0)
+        in
+        ( occupancy,
+          fun () ->
+            let result =
+              Syscall.dispatch world prog.Program.mem ~eax:s_eax ~ebx:s_ebx
+                ~ecx:s_ecx ~edx:s_edx
+            in
+            s_reply result ))
+  in
+  { q;
+    stats;
+    cfg;
+    layout;
+    prog;
+    manager;
+    memsys;
+    world;
+    regs;
+    scratch = Array.make 4096 0;
+    ready_at = Array.make 32 0;
+    pending = Array.make 32 false;
+    l1 = Code_cache.L1.create ~capacity:cfg.Config.l1_code_bytes;
+    l1d =
+      Cache.create ~name:"l1d" ~size_bytes:cfg.Config.l1d_bytes
+        ~ways:cfg.Config.l1d_ways ~line_bytes:cfg.Config.line_bytes;
+    syscall_svc;
+    t_local = 0;
+    outstanding = 0;
+    entry = None;
+    pc = 0;
+    wait = Running;
+    fuel = max_int;
+    guest_insns = 0;
+    outcome = None;
+    on_finish = ignore }
+
+let local_time t = t.t_local
+let guest_instructions t = t.guest_insns
+let output t = Syscall.output t.world
+let guest_reg t r = t.regs.(Translate.guest_pin r)
+
+let digest t =
+  let h = ref (Mem.checksum t.prog.Program.mem) in
+  let mix v = h := ((!h * 0x100000001b3) lxor v) land max_int in
+  for i = 0 to 7 do
+    mix t.regs.(Hinsn.guest_reg_base + i)
+  done;
+  mix (t.regs.(Hinsn.flags_reg) land Flags.all_mask);
+  String.iter (fun c -> mix (Char.code c)) (output t);
+  !h
+
+let finish t outcome =
+  if t.outcome = None then begin
+    t.outcome <- Some outcome;
+    t.wait <- Finished;
+    Stats.add t.stats "exec.cycles" t.t_local;
+    let cb = t.on_finish in
+    Event_queue.schedule t.q
+      ~at:(max (Event_queue.now t.q) t.t_local)
+      (fun () -> cb outcome)
+  end
+
+(* Schedule an interaction with another tile at the engine's local time
+   (the queue may be lagging behind the engine). *)
+let at_local t f =
+  Event_queue.schedule t.q ~at:(max (Event_queue.now t.q) t.t_local) f
+
+(* ------------------------------------------------------------------ *)
+(* Functional memory (values) — timing handled separately.             *)
+(* ------------------------------------------------------------------ *)
+
+exception Guest_mem_fault of string
+
+let value_load t (w : Hinsn.width) addr =
+  if addr >= scratch_base then t.scratch.((addr - scratch_base) lsr 2)
+  else
+    try
+      match w with
+      | W8 -> Mem.read_u8 t.prog.Program.mem addr
+      | W8s ->
+        let b = Mem.read_u8 t.prog.Program.mem addr in
+        if b land 0x80 <> 0 then b lor 0xFFFFFF00 else b
+      | W32 -> Mem.read_u32 t.prog.Program.mem addr
+    with Mem.Fault { addr; access } ->
+      raise
+        (Guest_mem_fault (Printf.sprintf "memory fault (%s) at 0x%x" access addr))
+
+let value_store t (w : Hinsn.width) addr v =
+  if addr >= scratch_base then t.scratch.((addr - scratch_base) lsr 2) <- v
+  else
+    try
+      match w with
+      | W8 -> Mem.write_u8 t.prog.Program.mem addr v
+      | W32 -> Mem.write_u32 t.prog.Program.mem addr v
+      | W8s -> invalid_arg "store W8s"
+    with Mem.Fault { addr; access } ->
+      raise
+        (Guest_mem_fault (Printf.sprintf "memory fault (%s) at 0x%x" access addr))
+
+(* ------------------------------------------------------------------ *)
+(* Execution loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let insn_extra_cost (insn : Hinsn.t) =
+  match insn with
+  | Mul64 _ -> 5      (* widening multiply helper *)
+  | Div64 _ -> 40     (* soft-divide helper *)
+  | _ -> 0
+
+let trap_message : Hinsn.trap -> string = function
+  | Divide_error -> "divide error"
+  | Divide_overflow -> "divide overflow"
+
+let rec step t =
+  match t.entry with
+  | None -> ()
+  | Some entry ->
+    let code = entry.block.code in
+    let len = Array.length code in
+    if t.pc >= len then terminator t entry
+    else begin
+      let insn = code.(t.pc) in
+      (* Scoreboard: stall (or suspend) until source registers are ready. *)
+      match pending_use t insn with
+      | Some r ->
+        t.wait <- Wait_reg (r, t.pc);
+        Stats.incr t.stats "exec.scoreboard_suspends"
+      | None ->
+        stall_to_ready t insn;
+        (match insn with
+         | Load (w, rd, base, off) -> exec_load t insn w rd base off
+         | Store (w, rv, base, off) -> exec_store t w rv base off
+         | _ -> begin
+           let dummy_mem : Hexec.mem_access =
+             { load = (fun _ _ -> assert false);
+               store = (fun _ _ _ -> assert false) }
+           in
+           match Hexec.step ~regs:t.regs ~mem:dummy_mem insn with
+           | Hexec.Next ->
+             t.t_local <- t.t_local + 1 + insn_extra_cost insn;
+             set_ready t insn;
+             t.pc <- t.pc + 1;
+             step t
+           | Hexec.Goto target ->
+             t.t_local <- t.t_local + 1;
+             t.pc <- target;
+             step t
+           | Hexec.Trapped trap -> finish t (Fault (trap_message trap))
+         end)
+    end
+
+and pending_use t insn =
+  let rec first = function
+    | [] -> None
+    | r :: rest -> if r <> 0 && t.pending.(r) then Some r else first rest
+  in
+  first (Hinsn.uses insn)
+
+and stall_to_ready t insn =
+  List.iter
+    (fun r ->
+      if r <> 0 && t.ready_at.(r) > t.t_local then begin
+        Stats.add t.stats "exec.stall_cycles" (t.ready_at.(r) - t.t_local);
+        t.t_local <- t.ready_at.(r)
+      end)
+    (Hinsn.uses insn)
+
+and set_ready t insn =
+  List.iter (fun r -> if r <> 0 then t.ready_at.(r) <- t.t_local) (Hinsn.defs insn)
+
+and exec_load t insn w rd base off =
+  let addr = (t.regs.(base) + off) land 0xFFFFFFFF in
+  if addr >= scratch_base then begin
+    (* Tile-local spill area: fixed cost, no cache. *)
+    (match Hexec.step ~regs:t.regs
+             ~mem:{ load = value_load t; store = value_store t }
+             insn
+     with
+     | Hexec.Next -> ()
+     | Hexec.Goto _ | Hexec.Trapped _ -> assert false);
+    t.t_local <- t.t_local + 2;
+    t.ready_at.(rd) <- t.t_local + 1;
+    t.pc <- t.pc + 1;
+    step t
+  end
+  else begin
+    match value_load t w addr with
+    | exception Guest_mem_fault msg -> finish t (Fault msg)
+    | v ->
+      Stats.incr t.stats "l1d.loads";
+      let issue = t.t_local in
+      t.t_local <- t.t_local + t.cfg.Config.l1d_occupancy;
+      t.regs.(rd) <- v;
+      let { Cache.hit; writeback } = Cache.access t.l1d ~addr ~write:false in
+      if hit then begin
+        t.ready_at.(rd) <- issue + t.cfg.Config.l1d_hit_latency;
+        t.pc <- t.pc + 1;
+        step t
+      end
+      else begin
+        Stats.incr t.stats "l1d.load_misses";
+        (match writeback with
+         | Some wb_addr ->
+           Stats.incr t.stats "l1d.writebacks";
+           at_local t (fun () ->
+               Memsys.access t.memsys ~addr:wb_addr ~write:true
+                 ~on_done:(fun () -> ()))
+         | None -> ());
+        if not t.cfg.Config.scoreboard then
+          (* Scoreboarding disabled (ablation): block until the reply. *)
+          issue_miss t rd addr ~blocking:true
+        else if t.outstanding >= t.cfg.Config.max_outstanding then begin
+          (* All miss slots busy: retry this load when one frees up. *)
+          t.wait <- Wait_capacity t.pc;
+          Stats.incr t.stats "exec.capacity_suspends"
+        end
+        else begin
+          issue_miss t rd addr ~blocking:false;
+          t.pc <- t.pc + 1;
+          step t
+        end
+      end
+  end
+
+and issue_miss t rd addr ~blocking =
+  t.outstanding <- t.outstanding + 1;
+  t.pending.(rd) <- true;
+  at_local t (fun () ->
+      Memsys.access t.memsys ~addr ~write:false ~on_done:(fun () ->
+          let now = Event_queue.now t.q in
+          t.pending.(rd) <- false;
+          t.ready_at.(rd) <- now;
+          t.outstanding <- t.outstanding - 1;
+          wake t));
+  if blocking then begin
+    t.wait <- Wait_reg (rd, t.pc + 1);
+    (* The load itself completed functionally; resume after it. *)
+    t.pc <- t.pc + 1
+  end
+
+and exec_store t w rv base off =
+  let addr = (t.regs.(base) + off) land 0xFFFFFFFF in
+  let v =
+    match w with
+    | W8 -> t.regs.(rv) land 0xFF
+    | W32 -> t.regs.(rv)
+    | W8s -> assert false
+  in
+  if addr >= scratch_base then begin
+    value_store t w addr v;
+    t.t_local <- t.t_local + 2;
+    t.pc <- t.pc + 1;
+    step t
+  end
+  else begin
+    match value_store t w addr v with
+    | exception Guest_mem_fault msg -> finish t (Fault msg)
+    | () ->
+      Stats.incr t.stats "l1d.stores";
+      t.t_local <- t.t_local + t.cfg.Config.l1d_occupancy;
+      (* Self-modifying-code detection: a store into a page holding
+         translated code invalidates that page's blocks everywhere. *)
+      let page = Mem.page_of addr in
+      if Manager.page_has_code t.manager ~page then begin
+        Stats.incr t.stats "smc.invalidations";
+        Manager.invalidate_page t.manager ~page;
+        Code_cache.L1.flush t.l1;
+        t.t_local <- t.t_local + 400
+      end;
+      let { Cache.hit; writeback } = Cache.access t.l1d ~addr ~write:true in
+      if not hit then begin
+        Stats.incr t.stats "l1d.store_misses";
+        (match writeback with
+         | Some wb_addr ->
+           Stats.incr t.stats "l1d.writebacks";
+           at_local t (fun () ->
+               Memsys.access t.memsys ~addr:wb_addr ~write:true
+                 ~on_done:(fun () -> ()))
+         | None -> ());
+        (* Write-allocate fill traffic; the store buffer hides latency. *)
+        at_local t (fun () ->
+            Memsys.access t.memsys ~addr ~write:true ~on_done:(fun () -> ()))
+      end;
+      t.pc <- t.pc + 1;
+      step t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Block transitions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+and terminator t entry =
+  let term = entry.block.term in
+  match term with
+  | Block.T_fault msg -> finish t (Fault msg)
+  | Block.T_syscall { next } -> do_syscall t next
+  | Block.T_jmp { target } -> leave_direct t entry `Taken target
+  | Block.T_call { target; _ } -> leave_direct t entry `Taken target
+  | Block.T_jcc { taken; fall } ->
+    let r = Block.term_reg in
+    if t.pending.(r) then begin
+      t.wait <- Wait_reg (r, t.pc) (* pc = len: re-run terminator *)
+    end
+    else begin
+      if t.ready_at.(r) > t.t_local then t.t_local <- t.ready_at.(r);
+      if t.regs.(r) <> 0 then leave_direct t entry `Taken taken
+      else leave_direct t entry `Fall fall
+    end
+  | Block.T_jind _ ->
+    let r = Block.term_reg in
+    if t.pending.(r) then t.wait <- Wait_reg (r, t.pc)
+    else begin
+      if t.ready_at.(r) > t.t_local then t.t_local <- t.ready_at.(r);
+      Stats.incr t.stats "exec.indirect_transfers";
+      dispatch t ~chain_slot:None (t.regs.(r))
+    end
+
+and leave_direct t entry dir target =
+  let chained =
+    if not t.cfg.Config.chaining then None
+    else
+      match dir with
+      | `Taken -> entry.chain_taken
+      | `Fall -> entry.chain_fall
+  in
+  match chained with
+  | Some next_entry ->
+    Stats.incr t.stats "exec.chained_transfers";
+    t.t_local <- t.t_local + t.cfg.Config.chain_cycles;
+    enter t next_entry
+  | None -> dispatch t ~chain_slot:(Some (entry, dir)) target
+
+and dispatch t ~chain_slot target =
+  Stats.incr t.stats "exec.dispatches";
+  t.t_local <- t.t_local + t.cfg.Config.dispatch_cycles;
+  match Code_cache.L1.find t.l1 target with
+  | Some next_entry ->
+    Stats.incr t.stats "l1code.hits";
+    set_chain t chain_slot next_entry;
+    enter t next_entry
+  | None ->
+    Stats.incr t.stats "l1code.misses";
+    t.wait <- Wait_fill;
+    at_local t (fun () ->
+        Manager.note_on_path t.manager target;
+        Manager.request_fill t.manager ~addr:target ~on_ready:(fun block ->
+            (* Arrived back at the execution tile. *)
+            let now = Event_queue.now t.q in
+            if now > t.t_local then t.t_local <- now;
+            let install_cost =
+              Block.size_bytes block / t.cfg.Config.l1_install_bytes_per_cycle
+            in
+            t.t_local <- t.t_local + max 1 install_cost;
+            let next_entry = Code_cache.L1.install t.l1 block in
+            Stats.incr t.stats "l1code.installs";
+            set_chain t chain_slot next_entry;
+            t.wait <- Running;
+            enter t next_entry))
+
+and set_chain t chain_slot next_entry =
+  if t.cfg.Config.chaining then
+    match chain_slot with
+    | Some (entry, `Taken) -> entry.Code_cache.L1.chain_taken <- Some next_entry
+    | Some (entry, `Fall) -> entry.Code_cache.L1.chain_fall <- Some next_entry
+    | None -> ()
+
+and enter t next_entry =
+  t.entry <- Some next_entry;
+  t.pc <- 0;
+  t.guest_insns <- t.guest_insns + next_entry.block.guest_insns;
+  Stats.incr t.stats "exec.blocks";
+  if t.guest_insns > t.fuel then finish t Out_of_fuel
+  else if t.wait = Running then step t
+
+and do_syscall t next =
+  t.wait <- Wait_syscall;
+  let reg r = t.regs.(Translate.guest_pin r) in
+  let s_eax = reg EAX
+  and s_ebx = reg EBX
+  and s_ecx = reg ECX
+  and s_edx = reg EDX in
+  at_local t (fun () ->
+      Service.submit t.syscall_svc
+        ~delay:(Layout.lat_exec_syscall t.layout)
+        { s_eax;
+          s_ebx;
+          s_ecx;
+          s_edx;
+          s_reply =
+            (fun result ->
+              Event_queue.after t.q
+                ~delay:(Layout.lat_exec_syscall t.layout)
+                (fun () ->
+                  let now = Event_queue.now t.q in
+                  if now > t.t_local then t.t_local <- now;
+                  Stats.incr t.stats "exec.syscalls";
+                  match result with
+                  | Syscall.Exit status -> finish t (Exited status)
+                  | Syscall.Continue v ->
+                    t.regs.(Translate.guest_pin EAX) <- v land 0xFFFFFFFF;
+                    t.ready_at.(Translate.guest_pin EAX) <- t.t_local;
+                    t.wait <- Running;
+                    dispatch t ~chain_slot:None next)) })
+
+and wake t =
+  match t.wait with
+  | Wait_reg (r, pc) when not t.pending.(r) ->
+    let now = Event_queue.now t.q in
+    if now > t.t_local then t.t_local <- now;
+    if t.ready_at.(r) > t.t_local then t.t_local <- t.ready_at.(r);
+    t.pc <- pc;
+    t.wait <- Running;
+    step t
+  | Wait_capacity pc when t.outstanding < t.cfg.Config.max_outstanding ->
+    let now = Event_queue.now t.q in
+    if now > t.t_local then t.t_local <- now;
+    t.pc <- pc;
+    t.wait <- Running;
+    step t
+  | Running | Wait_reg _ | Wait_capacity _ | Wait_fill | Wait_syscall
+  | Finished -> ()
+
+let start t ~fuel ~on_finish =
+  t.fuel <- fuel;
+  t.on_finish <- on_finish;
+  Manager.seed t.manager t.prog.Program.entry;
+  t.wait <- Wait_fill;
+  Event_queue.schedule t.q ~at:0 (fun () ->
+      Manager.request_fill t.manager ~addr:t.prog.Program.entry
+        ~on_ready:(fun block ->
+          let now = Event_queue.now t.q in
+          if now > t.t_local then t.t_local <- now;
+          let entry = Code_cache.L1.install t.l1 block in
+          t.wait <- Running;
+          enter t entry))

@@ -1,0 +1,45 @@
+open Vat_desim
+open Vat_guest
+
+(** The runtime-execution tile: executes translated blocks with a timing
+    model, dispatches between blocks through the code-cache hierarchy,
+    chains direct branches in L1, scoreboards loads against the pipelined
+    memory system, proxies system calls, and detects stores to translated
+    pages.
+
+    The engine runs ahead of the global event queue in local time while
+    executing cache-hitting code, interacting with other tiles only
+    through events scheduled at its local timestamp — see the design notes
+    in DESIGN.md. *)
+
+type outcome =
+  | Exited of int
+  | Fault of string
+  | Out_of_fuel
+
+type t
+
+val create :
+  Event_queue.t ->
+  Stats.t ->
+  Config.t ->
+  Layout.t ->
+  Program.t ->
+  manager:Manager.t ->
+  memsys:Memsys.t ->
+  ?input:string ->
+  unit ->
+  t
+
+val start : t -> fuel:int -> on_finish:(outcome -> unit) -> unit
+(** Begin execution at the program entry. [fuel] bounds retired guest
+    instructions. [on_finish] fires (as an event) exactly once. *)
+
+val local_time : t -> int
+(** The engine's cycle counter (total executed cycles). *)
+
+val guest_instructions : t -> int
+val output : t -> string
+val guest_reg : t -> Insn.reg -> int
+val digest : t -> int
+(** Comparable with {!Vat_guest.Interp.digest} / {!Xrun.digest}. *)

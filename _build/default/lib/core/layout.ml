@@ -1,0 +1,42 @@
+open Vat_tiled
+
+type t = {
+  grid : Grid.t;
+  exec : Grid.coord;
+  mmu : Grid.coord;
+  manager : Grid.coord;
+  syscall : Grid.coord;
+  l15 : Grid.coord array;
+  pool : Grid.coord array;
+}
+
+let create grid =
+  let c x y : Grid.coord = { x; y } in
+  { grid;
+    exec = c 0 0;
+    mmu = c 1 0;
+    manager = c 0 2;
+    syscall = c 0 3;
+    l15 = [| c 0 1; c 1 1 |];
+    (* L2D-preferred positions first (nearest the MMU), translators after. *)
+    pool =
+      [| c 2 0; c 3 0; c 2 1; c 3 1; c 1 2; c 2 2; c 3 2; c 1 3; c 2 3; c 3 3 |] }
+
+let exec t = t.exec
+let mmu t = t.mmu
+let manager t = t.manager
+let syscall t = t.syscall
+let l15_bank t i = t.l15.(i)
+let pool t i = t.pool.(i)
+
+let lat t a b = Grid.message_latency t.grid ~src:a ~dst:b
+
+let lat_exec_mmu t = lat t t.exec t.mmu
+let lat_mmu_bank t i = lat t t.mmu t.pool.(i)
+let lat_bank_exec t i = lat t t.pool.(i) t.exec
+let lat_exec_l15 t i = lat t t.exec t.l15.(i)
+let lat_l15_manager t i = lat t t.l15.(i) t.manager
+let lat_exec_manager t = lat t t.exec t.manager
+let lat_manager_exec t = lat t t.manager t.exec
+let lat_manager_slave t i = lat t t.manager t.pool.(i)
+let lat_exec_syscall t = lat t t.exec t.syscall

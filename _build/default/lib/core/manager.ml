@@ -1,0 +1,249 @@
+open Vat_desim
+open Vat_tiled
+
+type mgr_req =
+  | Fill of { addr : int; reply : Block.t -> unit }
+  | Translated of { slave : int; block : Block.t; gens : (int * int) list }
+
+type l15_req = { addr : int; bank : int; reply : Block.t -> unit }
+
+type slave = { mutable busy : bool; mutable active : bool }
+
+type t = {
+  q : Event_queue.t;
+  stats : Stats.t;
+  cfg : Config.t;
+  layout : Layout.t;
+  fetch : int -> int;
+  page_gen : page:int -> int;
+  l2 : Code_cache.L2.t;
+  l15_banks : Code_cache.L15.t array;
+  spec : Spec.t;
+  slaves : slave array;
+  waiters : (int, (Block.t -> unit) list) Hashtbl.t;
+  mutable mgr_service : mgr_req Service.t option;
+  mutable l15_services : l15_req Service.t array;
+  mutable drain_waiters : (unit -> unit) list;
+}
+
+let mgr t = match t.mgr_service with Some s -> s | None -> assert false
+
+(* Pool tiles: L2D banks occupy pool slots 0..3 (nearest the MMU);
+   translator slaves fill the pool from the far end, so slave [i] sits at
+   pool slot [9 - i]. During a morph a tile changes hands but its
+   coordinates (and hence latencies) stay put. *)
+let slave_pool_slot _t i = 9 - min 9 i
+
+let rec kick_slaves t =
+  let idle = ref [] in
+  Array.iteri
+    (fun i s -> if s.active && not s.busy then idle := i :: !idle)
+    t.slaves;
+  match !idle with
+  | [] -> ()
+  | i :: _ -> begin
+    match Spec.pop t.spec with
+    | None -> ()
+    | Some addr ->
+      let s = t.slaves.(i) in
+      s.busy <- true;
+      let block = Translate.translate t.cfg ~fetch:t.fetch ~guest_addr:addr in
+      (* Record the generations of the guest pages the translator read, so
+         a store racing with this translation is caught at install time. *)
+      let gens =
+        let rec go p acc =
+          if p > block.Block.page_hi then List.rev acc
+          else go (p + 1) ((p, t.page_gen ~page:p) :: acc)
+        in
+        go block.Block.page_lo []
+      in
+      Stats.incr t.stats "translations";
+      Stats.add t.stats "translations.guest_insns" block.guest_insns;
+      Stats.add t.stats "translations.host_insns" (Array.length block.code);
+      Stats.add t.stats "translations.cycles" block.translation_cycles;
+      Event_queue.after t.q ~delay:(max 1 block.translation_cycles) (fun () ->
+          s.busy <- false;
+          Service.submit (mgr t)
+            ~delay:(Layout.lat_manager_slave t.layout (slave_pool_slot t i))
+            (Translated { slave = i; block; gens });
+          (* A slave that was deactivated mid-block finishes it first. *)
+          notify_drained t;
+          kick_slaves t);
+      kick_slaves t
+  end
+
+and notify_drained t =
+  if t.drain_waiters <> [] && Array.for_all (fun s -> s.active || not s.busy) t.slaves
+  then begin
+    let ws = List.rev t.drain_waiters in
+    t.drain_waiters <- [];
+    List.iter (fun w -> w ()) ws
+  end
+
+let add_waiter t addr reply =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.waiters addr) in
+  Hashtbl.replace t.waiters addr (reply :: existing)
+
+(* Serving a block occupies the tile for the lookup plus the time to
+   stream the code over the network — the congestion behind the paper's
+   Figure 5/6 anomaly comes from exactly this serialization. *)
+let stream_cycles t (block : Block.t) =
+  Block.size_bytes block / t.cfg.Config.l1_install_bytes_per_cycle
+
+let serve_mgr t req =
+  match req with
+  | Fill { addr; reply } ->
+    Stats.incr t.stats "l2code.accesses";
+    (match Code_cache.L2.find t.l2 addr with
+     | Some block ->
+       (* The L2 code cache lives in off-chip DRAM: the manager fetches
+          the block before streaming it. *)
+       let occupancy =
+         t.cfg.Config.mgr_lookup_cycles + t.cfg.Config.dram_cycles
+         + stream_cycles t block
+       in
+       ( occupancy,
+         fun () ->
+           Event_queue.after t.q
+             ~delay:(Layout.lat_manager_exec t.layout)
+             (fun () -> reply block) )
+     | None ->
+       Stats.incr t.stats "l2code.misses";
+       ( t.cfg.Config.mgr_lookup_cycles,
+         fun () ->
+           add_waiter t addr reply;
+           (* If the block was invalidated (SMC) or evicted after being
+              marked done, allow it back into the queues. *)
+           Spec.forget_done t.spec addr;
+           Spec.request_demand t.spec addr;
+           kick_slaves t ))
+  | Translated { slave = _; block; gens } ->
+    (* Installs drain through a DRAM write buffer: the manager only pays
+       the bookkeeping and half-rate streaming, not the DRAM round trip
+       (fills, which execution waits on, still do). *)
+    let occupancy =
+      t.cfg.Config.mgr_install_cycles + (stream_cycles t block / 2)
+    in
+    ( occupancy,
+      fun () ->
+        let stale =
+          List.exists (fun (p, g) -> t.page_gen ~page:p <> g) gens
+        in
+        if stale then begin
+          (* A guest store raced with this translation: drop the stale
+             block; anyone waiting triggers a fresh translation. *)
+          Stats.incr t.stats "smc.stale_translations";
+          Spec.forget t.spec block.guest_addr;
+          if Hashtbl.mem t.waiters block.guest_addr then begin
+            Spec.request_demand t.spec block.guest_addr;
+            kick_slaves t
+          end
+        end
+        else begin
+        Code_cache.L2.install t.l2 block;
+        Spec.mark_done t.spec block.guest_addr;
+        Spec.note_block_translated t.spec block;
+        (match Hashtbl.find_opt t.waiters block.guest_addr with
+         | None -> ()
+         | Some replies ->
+           Hashtbl.remove t.waiters block.guest_addr;
+           let delay = Layout.lat_manager_exec t.layout in
+           List.iter
+             (fun reply ->
+               Event_queue.after t.q ~delay (fun () -> reply block))
+             replies)
+        end;
+        kick_slaves t )
+
+let serve_l15 t { addr; bank; reply } =
+  match Code_cache.L15.find t.l15_banks.(bank) addr with
+  | Some block ->
+    Stats.incr t.stats "l15.hits";
+    ( t.cfg.Config.l15_lookup_cycles + stream_cycles t block,
+      fun () ->
+        (* Reply straight back to the execution tile. *)
+        Event_queue.after t.q
+          ~delay:(Layout.lat_exec_l15 t.layout bank)
+          (fun () -> reply block) )
+  | None ->
+    Stats.incr t.stats "l15.misses";
+    ( t.cfg.Config.l15_lookup_cycles,
+      fun () ->
+        (* Forward to the manager; when the block comes back, keep a copy
+           in this bank before handing it to the execution tile. *)
+        let reply_installing block =
+          Code_cache.L15.install t.l15_banks.(bank) block;
+          reply block
+        in
+        Service.submit (mgr t)
+          ~delay:(Layout.lat_l15_manager t.layout bank)
+          (Fill { addr; reply = reply_installing }) )
+
+let create q stats cfg layout ~fetch ~page_gen =
+  let t =
+    { q;
+      stats;
+      cfg;
+      layout;
+      fetch;
+      page_gen;
+      l2 = Code_cache.L2.create ~capacity:cfg.Config.l2_code_bytes;
+      l15_banks =
+        Array.init (max 1 cfg.Config.n_l15_banks) (fun _ ->
+            Code_cache.L15.create ~capacity:cfg.Config.l15_bank_bytes);
+      spec = Spec.create cfg stats;
+      slaves =
+        Array.init 9 (fun i ->
+            { busy = false; active = i < cfg.Config.n_translators });
+      waiters = Hashtbl.create 64;
+      mgr_service = None;
+      l15_services = [||];
+      drain_waiters = [] }
+  in
+  t.mgr_service <- Some (Service.create q ~name:"code-manager" ~serve:(serve_mgr t));
+  t.l15_services <-
+    Array.init (max 1 cfg.Config.n_l15_banks) (fun _i ->
+        Service.create q ~name:"l15" ~serve:(serve_l15 t));
+  t
+
+let seed t addr =
+  Spec.seed t.spec addr;
+  kick_slaves t
+
+let l15_bank_of t addr = (addr lsr 6) land (Array.length t.l15_services - 1)
+
+let request_fill t ~addr ~on_ready =
+  if t.cfg.Config.n_l15_banks > 0 then begin
+    let bank = l15_bank_of t addr in
+    Service.submit t.l15_services.(bank)
+      ~delay:(Layout.lat_exec_l15 t.layout bank)
+      { addr; bank; reply = on_ready }
+  end
+  else
+    Service.submit (mgr t)
+      ~delay:(Layout.lat_exec_manager t.layout)
+      (Fill { addr; reply = on_ready })
+
+let note_on_path t addr = Spec.note_on_path t.spec addr
+
+let page_has_code t ~page = Code_cache.L2.page_has_code t.l2 ~page
+
+let invalidate_page t ~page =
+  let dropped = Code_cache.L2.invalidate_page t.l2 ~page in
+  Stats.add t.stats "smc.blocks_invalidated" dropped;
+  Array.iter (fun bank -> Code_cache.L15.drop_page bank page) t.l15_banks
+
+let queue_length t = Spec.queue_length t.spec
+
+let active_slaves t =
+  Array.fold_left (fun acc s -> if s.active then acc + 1 else acc) 0 t.slaves
+
+let busy_slaves t =
+  Array.fold_left (fun acc s -> if s.busy then acc + 1 else acc) 0 t.slaves
+
+let set_active_slaves t n ~on_done =
+  let n = max 1 (min (Array.length t.slaves) n) in
+  Array.iteri (fun i s -> s.active <- i < n) t.slaves;
+  kick_slaves t;
+  if Array.for_all (fun s -> s.active || not s.busy) t.slaves then on_done ()
+  else t.drain_waiters <- on_done :: t.drain_waiters

@@ -1,0 +1,53 @@
+open Vat_desim
+
+(** The L2 code-cache manager tile, the banked L1.5 code-cache tiles, and
+    the translation-slave tiles (paper Figure 3).
+
+    The manager owns the main-memory code cache and coordinates
+    speculative parallel translation: it serves fill requests from the
+    execution tile (optionally through an L1.5 bank), and hands queued
+    addresses to idle slave tiles. Slaves run the real translator
+    ({!Translate}) and are occupied for the block's translation cost.
+    There is no preemption: a demand miss waits for a free slave, which is
+    the effect behind the paper's vpr/gcc/crafty anomaly in Figure 5. *)
+
+type t
+
+val create :
+  Event_queue.t ->
+  Stats.t ->
+  Config.t ->
+  Layout.t ->
+  fetch:(int -> int) ->
+  page_gen:(page:int -> int) ->
+  t
+(** [page_gen] reads a guest page's store-generation counter; translations
+    are validated against it at install time so stores racing with an
+    in-flight translation cannot install stale code. *)
+
+val seed : t -> int -> unit
+(** Queue the program entry point before the run starts. *)
+
+val request_fill : t -> addr:int -> on_ready:(Block.t -> unit) -> unit
+(** Execution-tile L1 code miss. [on_ready] fires when the block arrives
+    back at the execution tile (it still pays L1 install cost there). *)
+
+val note_on_path : t -> int -> unit
+(** The engine entered this address (resets speculation depth). *)
+
+val page_has_code : t -> page:int -> bool
+
+val invalidate_page : t -> page:int -> unit
+(** Self-modifying code: drop blocks on this page from L2 and the L1.5
+    banks. (The execution tile flushes its own L1.) *)
+
+val queue_length : t -> int
+(** Blocks awaiting translation — the morph trigger metric. *)
+
+val active_slaves : t -> int
+
+val set_active_slaves : t -> int -> on_done:(unit -> unit) -> unit
+(** Morphing: raise or lower the number of slave tiles. Lowering waits for
+    the affected slaves to finish their current block. *)
+
+val busy_slaves : t -> int

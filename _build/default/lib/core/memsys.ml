@@ -1,0 +1,193 @@
+open Vat_desim
+open Vat_tiled
+open Vat_guest
+
+type mmu_req = { vaddr : int; write : bool; on_done : unit -> unit }
+type bank_req = { paddr : int; bwrite : bool; bank : int; bon_done : unit -> unit }
+
+type t = {
+  q : Event_queue.t;
+  stats : Stats.t;
+  cfg : Config.t;
+  layout : Layout.t;
+  page_table : int array;
+  tlb_tags : int array;
+  tlb_lru : int array;
+  mutable tlb_tick : int;
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable n_banks : int;
+  banks : Cache.t array;        (* up to the maximum bank count *)
+  mutable mmu : mmu_req Service.t option;
+  mutable bank_services : bank_req Service.t array;
+  mutable reconfiguring : bool;
+}
+
+let the_mmu t =
+  match t.mmu with Some s -> s | None -> assert false
+
+let max_banks = 4
+
+let tlb_lookup t vpage =
+  t.tlb_tick <- t.tlb_tick + 1;
+  let n = Array.length t.tlb_tags in
+  let found = ref false in
+  for i = 0 to n - 1 do
+    if t.tlb_tags.(i) = vpage then begin
+      found := true;
+      t.tlb_lru.(i) <- t.tlb_tick
+    end
+  done;
+  if !found then begin
+    t.tlb_hits <- t.tlb_hits + 1;
+    true
+  end
+  else begin
+    t.tlb_misses <- t.tlb_misses + 1;
+    (* Replace the least recently used entry. *)
+    let victim = ref 0 in
+    for i = 1 to n - 1 do
+      if t.tlb_lru.(i) < t.tlb_lru.(!victim) then victim := i
+    done;
+    t.tlb_tags.(!victim) <- vpage;
+    t.tlb_lru.(!victim) <- t.tlb_tick;
+    false
+  end
+
+let translate t vaddr =
+  let vpage = vaddr / Mem.page_size in
+  let frame =
+    if vpage >= 0 && vpage < Array.length t.page_table then
+      t.page_table.(vpage)
+    else vpage
+  in
+  (frame * Mem.page_size) + (vaddr mod Mem.page_size)
+
+let bank_of t paddr = paddr / t.cfg.Config.line_bytes mod t.n_banks
+
+(* Line-interleaved banking: bank [b] holds lines congruent to [b], so its
+   cache must be indexed by the bank-local line number or it would only
+   ever touch 1/n_banks of its sets. *)
+let bank_local_addr t paddr =
+  let line = paddr / t.cfg.Config.line_bytes in
+  ((line / t.n_banks) * t.cfg.Config.line_bytes)
+  + (paddr mod t.cfg.Config.line_bytes)
+
+let make_bank_service t idx =
+  Service.create t.q ~name:(Printf.sprintf "l2d_bank%d" idx)
+    ~serve:(fun { paddr; bwrite; bank; bon_done } ->
+      let cache = t.banks.(bank) in
+      let { Cache.hit; writeback } =
+        Cache.access cache ~addr:(bank_local_addr t paddr) ~write:bwrite
+      in
+      Stats.incr t.stats "l2d.accesses";
+      let occupancy =
+        if hit then begin
+          Stats.incr t.stats "l2d.hits";
+          t.cfg.Config.l2d_bank_cycles
+        end
+        else begin
+          Stats.incr t.stats "l2d.misses";
+          t.cfg.Config.l2d_bank_cycles + t.cfg.Config.dram_cycles
+          + (match writeback with
+             | Some _ -> t.cfg.Config.writeback_cycles
+             | None -> 0)
+        end
+      in
+      let reply_latency = Layout.lat_bank_exec t.layout bank in
+      ( occupancy,
+        fun () -> Event_queue.after t.q ~delay:reply_latency bon_done ))
+
+let make_mmu t =
+  Service.create t.q ~name:"mmu"
+    ~serve:(fun { vaddr; write; on_done } ->
+      Stats.incr t.stats "mmu.requests";
+      let vpage = vaddr / Mem.page_size in
+      let hit = tlb_lookup t vpage in
+      let occupancy =
+        if hit then t.cfg.Config.mmu_tlb_hit_cycles
+        else t.cfg.Config.mmu_walk_cycles
+      in
+      let paddr = translate t vaddr in
+      let bank = bank_of t paddr in
+      let forward_latency = Layout.lat_mmu_bank t.layout bank in
+      ( occupancy,
+        fun () ->
+          Service.submit t.bank_services.(bank) ~delay:forward_latency
+            { paddr; bwrite = write; bank; bon_done = on_done } ))
+
+let create q stats cfg layout ~page_table =
+  let banks =
+    Array.init max_banks (fun i ->
+        Cache.create
+          ~name:(Printf.sprintf "l2d%d" i)
+          ~size_bytes:cfg.Config.l2d_bank_bytes ~ways:cfg.Config.l2d_ways
+          ~line_bytes:cfg.Config.line_bytes)
+  in
+  let t =
+    { q;
+      stats;
+      cfg;
+      layout;
+      page_table;
+      tlb_tags = Array.make cfg.Config.tlb_entries (-1);
+      tlb_lru = Array.make cfg.Config.tlb_entries 0;
+      tlb_tick = 0;
+      tlb_hits = 0;
+      tlb_misses = 0;
+      n_banks = min max_banks (max 1 cfg.Config.n_l2d_banks);
+      banks;
+      mmu = None;
+      bank_services = [||];
+      reconfiguring = false }
+  in
+  t.mmu <- Some (make_mmu t);
+  t.bank_services <- Array.init max_banks (make_bank_service t);
+  t
+
+let access t ~addr ~write ~on_done =
+  Service.submit (the_mmu t)
+    ~delay:(Layout.lat_exec_mmu t.layout)
+    { vaddr = addr; write; on_done }
+
+let active_banks t = t.n_banks
+
+let reconfigure_banks t n ~on_done =
+  let n = max 1 (min max_banks n) in
+  if n = t.n_banks || t.reconfiguring then on_done 0
+  else begin
+    t.reconfiguring <- true;
+    (* Stop accepting new bank work, let in-flight requests finish. *)
+    Array.iter (fun s -> Service.set_paused s true) t.bank_services;
+    let drained = ref 0 in
+    let total = Array.length t.bank_services in
+    let finish () =
+      (* Changing the interleave invalidates every bank: flush them all
+         and charge the writeback traffic. *)
+      let dirty = ref 0 in
+      Array.iteri
+        (fun i c -> if i < max_banks then dirty := !dirty + Cache.flush c)
+        t.banks;
+      t.n_banks <- n;
+      let cost =
+        (!dirty * t.cfg.Config.morph_flush_per_line)
+        + t.cfg.Config.morph_role_switch_cycles
+      in
+      Event_queue.after t.q ~delay:(max 1 cost) (fun () ->
+          Array.iter (fun s -> Service.set_paused s false) t.bank_services;
+          t.reconfiguring <- false;
+          on_done !dirty)
+    in
+    Array.iter
+      (fun s ->
+        Service.drain_then s (fun () ->
+            incr drained;
+            if !drained = total then finish ()))
+      t.bank_services
+  end
+
+let bank_queue_total t =
+  Array.fold_left (fun acc s -> acc + Service.queue_length s) 0 t.bank_services
+
+let tlb_hits t = t.tlb_hits
+let tlb_misses t = t.tlb_misses

@@ -1,0 +1,36 @@
+open Vat_desim
+
+(** The pipelined guest data-memory system: MMU/TLB tile feeding banked L2
+    data-cache tiles backed by off-chip DRAM (paper Figure 2).
+
+    This is a timing model — data values always come from the functional
+    guest memory. Each stage is a serialized {!Vat_tiled.Service}, so
+    concurrent misses queue and the pipeline overlaps with execution.
+    Reconfiguration can change the number of active banks at runtime
+    (flushing them, since the address interleave changes). *)
+
+type t
+
+val create :
+  Event_queue.t ->
+  Stats.t ->
+  Config.t ->
+  Layout.t ->
+  page_table:int array ->
+  t
+
+val access : t -> addr:int -> write:bool -> on_done:(unit -> unit) -> unit
+(** Submit a miss from the execution tile's L1 data cache at the current
+    event-queue time plus the exec->MMU latency. [on_done] fires when the
+    reply reaches the execution tile. *)
+
+val active_banks : t -> int
+
+val reconfigure_banks : t -> int -> on_done:(int -> unit) -> unit
+(** Change the number of active banks: waits for the banks to drain,
+    flushes them (writebacks cost cycles), then switches the interleave.
+    [on_done] receives the number of dirty lines written back. *)
+
+val bank_queue_total : t -> int
+val tlb_hits : t -> int
+val tlb_misses : t -> int

@@ -1,0 +1,45 @@
+open Vat_desim
+
+let fdiv a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
+
+let get (r : Vm.result) name = Stats.get r.stats name
+
+let l2_code_accesses_per_cycle r = fdiv (get r "l2code.accesses") r.cycles
+let l2_code_miss_rate r = fdiv (get r "l2code.misses") (get r "l2code.accesses")
+
+let l1_code_miss_rate r =
+  fdiv (get r "l1code.misses")
+    (get r "l1code.misses" + get r "l1code.hits" + get r "exec.chained_transfers")
+
+let l15_hit_rate r = fdiv (get r "l15.hits") (get r "l15.hits" + get r "l15.misses")
+
+let chain_rate r =
+  fdiv
+    (get r "exec.chained_transfers")
+    (get r "exec.chained_transfers" + get r "exec.dispatches")
+
+let mem_access_rate r =
+  fdiv (get r "l1d.loads" + get r "l1d.stores") r.guest_insns
+
+let l1d_miss_rate r =
+  fdiv
+    (get r "l1d.load_misses" + get r "l1d.store_misses")
+    (get r "l1d.loads" + get r "l1d.stores")
+
+let reconfigurations r = get r "morph.reconfigurations"
+
+let summary r =
+  [ ("l2code_accesses_per_cycle", l2_code_accesses_per_cycle r);
+    ("l2code_miss_rate", l2_code_miss_rate r);
+    ("l1code_miss_rate", l1_code_miss_rate r);
+    ("l15_hit_rate", l15_hit_rate r);
+    ("chain_rate", chain_rate r);
+    ("mem_access_rate", mem_access_rate r);
+    ("l1d_miss_rate", l1d_miss_rate r);
+    ("reconfigurations", float_of_int (reconfigurations r)) ]
+
+let pp_result ppf (r : Vm.result) =
+  Format.fprintf ppf "cycles %d, guest insns %d@." r.cycles r.guest_insns;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "  %-28s %.6f@." name v)
+    (summary r)

@@ -1,0 +1,26 @@
+(** Figure-level metrics extracted from a finished simulation. *)
+
+val l2_code_accesses_per_cycle : Vm.result -> float
+(** Figure 6's y axis. *)
+
+val l2_code_miss_rate : Vm.result -> float
+(** Figure 7's y axis: L2 code-cache misses per L2 code-cache access. *)
+
+val l1_code_miss_rate : Vm.result -> float
+val l15_hit_rate : Vm.result -> float
+val chain_rate : Vm.result -> float
+(** Chained transfers per block transition. *)
+
+val mem_access_rate : Vm.result -> float
+(** Guest data accesses per guest instruction (feeds {!Analysis}). *)
+
+val l1d_miss_rate : Vm.result -> float
+val reconfigurations : Vm.result -> int
+
+val summary : Vm.result -> (string * float) list
+(** Everything above, for printing. *)
+
+val get : Vm.result -> string -> int
+(** Raw counter access. *)
+
+val pp_result : Format.formatter -> Vm.result -> unit

@@ -1,0 +1,74 @@
+open Vat_desim
+
+type t = {
+  q : Event_queue.t;
+  stats : Stats.t;
+  cfg : Config.t;
+  manager : Manager.t;
+  memsys : Memsys.t;
+  mutable morphing : bool;
+  mutable last_morph : int;
+  mutable count : int;
+}
+
+let trans_slaves = 9
+let mem_slaves = 6
+let trans_banks = 1
+let mem_banks = 4
+
+let desired ~qlen ~threshold = if qlen > threshold then `Trans else `Mem
+
+let current t =
+  if Manager.active_slaves t.manager >= trans_slaves then `Trans else `Mem
+
+let morph_to t target =
+  t.morphing <- true;
+  t.count <- t.count + 1;
+  Stats.incr t.stats "morph.reconfigurations";
+  let finished () =
+    t.morphing <- false;
+    t.last_morph <- Event_queue.now t.q
+  in
+  match target with
+  | `Trans ->
+    (* Shrink the data cache first (flush + drain), then grow the slave
+       pool with the freed tiles. *)
+    Memsys.reconfigure_banks t.memsys trans_banks ~on_done:(fun dirty ->
+        Stats.add t.stats "morph.writeback_lines" dirty;
+        Manager.set_active_slaves t.manager trans_slaves ~on_done:finished)
+  | `Mem ->
+    Manager.set_active_slaves t.manager mem_slaves ~on_done:(fun () ->
+        Memsys.reconfigure_banks t.memsys mem_banks ~on_done:(fun dirty ->
+            Stats.add t.stats "morph.writeback_lines" dirty;
+            finished ()))
+
+let sample t ~threshold ~dwell =
+  if not t.morphing && Event_queue.now t.q - t.last_morph >= dwell then begin
+    let qlen = Manager.queue_length t.manager in
+    Stats.set_max t.stats "morph.max_sampled_queue" qlen;
+    let want = desired ~qlen ~threshold in
+    if want <> current t then morph_to t want
+  end
+
+let create q stats cfg manager memsys =
+  let t =
+    { q;
+      stats;
+      cfg;
+      manager;
+      memsys;
+      morphing = false;
+      last_morph = 0;
+      count = 0 }
+  in
+  (match cfg.Config.morph with
+   | Config.No_morph -> ()
+   | Config.Morph { threshold; dwell } ->
+     let rec loop () =
+       sample t ~threshold ~dwell;
+       Event_queue.after q ~delay:cfg.Config.sample_interval loop
+     in
+     Event_queue.after q ~delay:cfg.Config.sample_interval loop);
+  t
+
+let morphs t = t.count

@@ -1,0 +1,20 @@
+open Vat_desim
+
+(** Dynamic virtual-architecture reconfiguration.
+
+    A centralized manager samples the length of the blocks-to-be-translated
+    queues and trades L2 data-cache tiles against translation tiles at
+    runtime: queue length above the threshold means translation is starved
+    (morph to 9 translators / 1 bank); at or below it the memory system
+    deserves the tiles (6 translators / 4 banks). Reconfiguration pays for
+    draining, cache flushes and role switches, and a dwell time provides
+    hysteresis. *)
+
+type t
+
+val create :
+  Event_queue.t -> Stats.t -> Config.t -> Manager.t -> Memsys.t -> t
+(** Starts the sampling loop when the configuration enables morphing;
+    otherwise inert. *)
+
+val morphs : t -> int

@@ -1,0 +1,21 @@
+(** The translator: guest basic block -> optimized H-ISA block.
+
+    Mirrors the paper's translation-slave pipeline: variable-length guest
+    decode, lowering through a MIPS-like IR with the guest registers pinned
+    in r8..r15 and the packed flags word in r16, dead-flag elimination,
+    the standard optimization passes (when enabled), load hoisting,
+    register allocation, and linearization.
+
+    Decode failures and unmapped fetches yield a block whose terminator is
+    [T_fault], so executing the address reproduces the guest fault. *)
+
+val guest_pin : Vat_guest.Insn.reg -> Vat_host.Hinsn.reg
+(** Hardware register holding a guest register (r8 + index). *)
+
+val translate :
+  Config.t -> fetch:(int -> int) -> guest_addr:int -> Block.t
+(** [fetch] reads one guest code byte (may raise [Vat_guest.Mem.Fault]). *)
+
+val live_out_regs : Vat_host.Hinsn.reg list
+(** Registers meaningful at block exit: the pinned guest state and the
+    terminator link register. *)

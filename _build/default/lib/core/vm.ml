@@ -1,0 +1,77 @@
+open Vat_desim
+open Vat_guest
+open Vat_tiled
+
+type result = {
+  outcome : Exec.outcome;
+  cycles : int;
+  guest_insns : int;
+  output : string;
+  digest : int;
+  stats : Stats.t;
+}
+
+type instance = {
+  i_manager : Manager.t;
+  i_exec : Exec.t;
+  i_memsys : Memsys.t;
+}
+
+let create ?input q stats cfg prog =
+  let layout = Layout.create (Grid.create ()) in
+  let manager =
+    Manager.create q stats cfg layout
+      ~fetch:(Mem.read_u8 prog.Program.mem)
+      ~page_gen:(fun ~page -> Mem.page_generation prog.Program.mem ~page)
+  in
+  let memsys =
+    Memsys.create q stats cfg layout ~page_table:prog.Program.page_table
+  in
+  let exec = Exec.create q stats cfg layout prog ~manager ~memsys ?input () in
+  { i_manager = manager; i_exec = exec; i_memsys = memsys }
+
+let start t ~fuel ~on_finish = Exec.start t.i_exec ~fuel ~on_finish
+let manager_of t = t.i_manager
+let exec_of t = t.i_exec
+let memsys_of t = t.i_memsys
+
+let run ?input ?(fuel = 50_000_000) ?(max_cycles = 2_000_000_000) cfg prog =
+  (match Config.validate cfg with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Vm.run: " ^ msg));
+  let q = Event_queue.create () in
+  let stats = Stats.create () in
+  let inst = create ?input q stats cfg prog in
+  let manager = inst.i_manager in
+  let memsys = inst.i_memsys in
+  let exec = inst.i_exec in
+  let morph = Morph.create q stats cfg manager memsys in
+  let outcome = ref None in
+  Exec.start exec ~fuel ~on_finish:(fun o -> outcome := Some o);
+  let rec drive () =
+    match !outcome with
+    | Some _ -> ()
+    | None ->
+      if Event_queue.now q > max_cycles then
+        outcome := Some (Exec.Fault "simulation cycle limit exceeded")
+      else if Event_queue.step q then drive ()
+      else outcome := Some (Exec.Fault "simulation deadlock: no events")
+  in
+  drive ();
+  let outcome = Option.get !outcome in
+  let cycles = max (Event_queue.now q) (Exec.local_time exec) in
+  Stats.add stats "total.cycles" cycles;
+  Stats.add stats "total.guest_insns" (Exec.guest_instructions exec);
+  Stats.add stats "morph.count" (Morph.morphs morph);
+  Stats.add stats "mmu.tlb_hits" (Memsys.tlb_hits memsys);
+  Stats.add stats "mmu.tlb_misses" (Memsys.tlb_misses memsys);
+  { outcome;
+    cycles;
+    guest_insns = Exec.guest_instructions exec;
+    output = Exec.output exec;
+    digest = Exec.digest exec;
+    stats }
+
+let slowdown result ~piii_cycles =
+  if piii_cycles <= 0 then infinity
+  else float_of_int result.cycles /. float_of_int piii_cycles

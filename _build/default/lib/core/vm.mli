@@ -1,0 +1,55 @@
+open Vat_desim
+open Vat_guest
+
+(** Whole-system construction and simulation: the public entry point of
+    the virtual-architecture library.
+
+    [run] builds the 16-tile virtual machine described by a {!Config} —
+    execution tile, MMU/TLB tile, L2 data-cache banks, L1.5 banks, the
+    code-cache manager, translation slaves, syscall tile, and (optionally)
+    the morphing controller — loads the guest program, and simulates until
+    the guest exits, faults, or exhausts its instruction budget. *)
+
+type result = {
+  outcome : Exec.outcome;
+  cycles : int;            (** total simulated host cycles *)
+  guest_insns : int;       (** retired guest instructions *)
+  output : string;         (** bytes written by the guest *)
+  digest : int;            (** comparable with [Interp.digest] *)
+  stats : Stats.t;         (** every counter the components recorded *)
+}
+
+val run :
+  ?input:string -> ?fuel:int -> ?max_cycles:int -> Config.t -> Program.t ->
+  result
+(** [fuel] defaults to 50M guest instructions; [max_cycles] (default 2G)
+    is a safety net against runaway simulations. Raises
+    [Invalid_argument] if the configuration fails {!Config.validate}. *)
+
+val slowdown : result -> piii_cycles:int -> float
+(** Paper metric: cycles on the translator / cycles on the Pentium III. *)
+
+(** {2 Composable instances}
+
+    For systems hosting more than one virtual machine on the fabric
+    (see {!Fabric}), instances share an event queue and stats registry and
+    are driven externally. *)
+
+type instance
+
+val create :
+  ?input:string ->
+  Event_queue.t ->
+  Stats.t ->
+  Config.t ->
+  Program.t ->
+  instance
+(** Build the tile complex for one guest without running it. No morphing
+    controller is attached (a fabric-level controller owns tile trades). *)
+
+val start :
+  instance -> fuel:int -> on_finish:(Exec.outcome -> unit) -> unit
+
+val manager_of : instance -> Manager.t
+val exec_of : instance -> Exec.t
+val memsys_of : instance -> Memsys.t

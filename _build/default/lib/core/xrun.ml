@@ -1,0 +1,160 @@
+open Vat_guest
+open Vat_host
+open Vat_ir
+
+type outcome =
+  | Exited of int
+  | Fault of string
+  | Out_of_fuel
+
+let scratch_base = 0xFFF00000
+
+type cached = { block : Block.t; gens : (int * int) list }
+
+type t = {
+  cfg : Config.t;
+  prog : Program.t;
+  regs : int array;
+  scratch : int array;
+  world : Syscall.world;
+  cache : (int, cached) Hashtbl.t;
+  mutable pc : int;
+  mutable translated : int;
+  mutable executed_blocks : int;
+}
+
+let create ?input cfg prog =
+  let regs = Array.make 32 0 in
+  regs.(Translate.guest_pin ESP) <- prog.Program.initial_esp;
+  regs.(Regalloc.scratch_base_reg) <- scratch_base;
+  { cfg;
+    prog;
+    regs;
+    scratch = Array.make 4096 0;
+    world = Syscall.create_world ?input ~brk0:prog.Program.brk0 ();
+    cache = Hashtbl.create 512;
+    pc = prog.Program.entry;
+    translated = 0;
+    executed_blocks = 0 }
+
+let output t = Syscall.output t.world
+let guest_reg t r = t.regs.(Translate.guest_pin r)
+let flags t = t.regs.(Hinsn.flags_reg)
+let blocks_translated t = t.translated
+let guest_blocks_executed t = t.executed_blocks
+
+let page_gens t (block : Block.t) =
+  let rec go p acc =
+    if p > block.page_hi then List.rev acc
+    else go (p + 1) ((p, Mem.page_generation t.prog.Program.mem ~page:p) :: acc)
+  in
+  go block.page_lo []
+
+let lookup_block t addr =
+  let fresh () =
+    let block =
+      Translate.translate t.cfg ~fetch:(Mem.read_u8 t.prog.Program.mem)
+        ~guest_addr:addr
+    in
+    t.translated <- t.translated + 1;
+    Hashtbl.replace t.cache addr { block; gens = page_gens t block };
+    block
+  in
+  match Hashtbl.find_opt t.cache addr with
+  | Some { block; gens } ->
+    let valid =
+      List.for_all
+        (fun (p, g) -> Mem.page_generation t.prog.Program.mem ~page:p = g)
+        gens
+    in
+    if valid then block else fresh ()
+  | None -> fresh ()
+
+exception Guest_mem_fault of string
+
+let mem_access t : Hexec.mem_access =
+  let mem = t.prog.Program.mem in
+  let load w addr =
+    if addr >= scratch_base then t.scratch.((addr - scratch_base) lsr 2)
+    else
+      match w with
+      | Hinsn.W8 -> Mem.read_u8 mem addr
+      | Hinsn.W8s ->
+        let b = Mem.read_u8 mem addr in
+        if b land 0x80 <> 0 then b lor 0xFFFFFF00 else b
+      | Hinsn.W32 -> Mem.read_u32 mem addr
+  in
+  let store w addr v =
+    if addr >= scratch_base then t.scratch.((addr - scratch_base) lsr 2) <- v
+    else
+      match w with
+      | Hinsn.W8 -> Mem.write_u8 mem addr v
+      | Hinsn.W32 -> Mem.write_u32 mem addr v
+      | Hinsn.W8s -> invalid_arg "store W8s"
+  in
+  { load =
+      (fun w addr ->
+        try load w addr
+        with Mem.Fault { addr; access } ->
+          raise
+            (Guest_mem_fault
+               (Printf.sprintf "memory fault (%s) at 0x%x" access addr)));
+    store =
+      (fun w addr v ->
+        try store w addr v
+        with Mem.Fault { addr; access } ->
+          raise
+            (Guest_mem_fault
+               (Printf.sprintf "memory fault (%s) at 0x%x" access addr))) }
+
+let trap_message : Hinsn.trap -> string = function
+  | Divide_error -> "divide error"
+  | Divide_overflow -> "divide overflow"
+
+let run ~fuel t =
+  let mem = mem_access t in
+  let budget = ref fuel in
+  let result = ref None in
+  while !result = None do
+    let block = lookup_block t t.pc in
+    t.executed_blocks <- t.executed_blocks + 1;
+    budget := !budget - max 1 block.guest_insns;
+    (match
+       Hexec.run_block ~code:block.code ~regs:t.regs ~mem ~fuel:100000
+     with
+     | exception Guest_mem_fault msg -> result := Some (Fault msg)
+     | Hexec.Trap trap -> result := Some (Fault (trap_message trap))
+     | Hexec.Out_of_steps -> result := Some (Fault "host block runaway")
+     | Hexec.Fell_through -> begin
+       match block.term with
+       | T_jmp { target } -> t.pc <- target
+       | T_jcc { taken; fall } ->
+         t.pc <- (if t.regs.(Block.term_reg) <> 0 then taken else fall)
+       | T_jind _ -> t.pc <- t.regs.(Block.term_reg)
+       | T_call { target; _ } -> t.pc <- target
+       | T_syscall { next } -> begin
+         let reg r = t.regs.(Translate.guest_pin r) in
+         match
+           Syscall.dispatch t.world t.prog.Program.mem ~eax:(reg EAX)
+             ~ebx:(reg EBX) ~ecx:(reg ECX) ~edx:(reg EDX)
+         with
+         | Continue v ->
+           t.regs.(Translate.guest_pin EAX) <- v land 0xFFFFFFFF;
+           t.pc <- next
+         | Exit status -> result := Some (Exited status)
+       end
+       | T_fault msg -> result := Some (Fault msg)
+     end);
+    if !result = None && !budget <= 0 then result := Some Out_of_fuel
+  done;
+  match !result with Some r -> r | None -> assert false
+
+let digest t =
+  let h = ref (Mem.checksum t.prog.Program.mem) in
+  let mix v = h := ((!h * 0x100000001b3) lxor v) land max_int in
+  for i = 0 to 7 do
+    mix t.regs.(Hinsn.guest_reg_base + i)
+  done;
+  mix (t.regs.(Hinsn.flags_reg) land Flags.all_mask);
+  String.iter (fun c -> mix (Char.code c)) (output t);
+  !h

@@ -1,0 +1,36 @@
+open Vat_guest
+
+(** Untimed functional execution of translated code.
+
+    Runs a guest program through the translator and a plain H-ISA dispatch
+    loop with no timing model — the functional half of the DBT, used to
+    check translation correctness against the reference interpreter and as
+    a fast path in tests and examples. Self-modifying code is handled by
+    page-generation validation of cached blocks. *)
+
+type outcome =
+  | Exited of int
+  | Fault of string
+  | Out_of_fuel
+
+type t
+
+val create : ?input:string -> Config.t -> Program.t -> t
+
+val run : fuel:int -> t -> outcome
+(** [fuel] bounds executed guest instructions (approximately: blocks are
+    charged on entry). *)
+
+val output : t -> string
+val guest_reg : t -> Insn.reg -> int
+val flags : t -> int
+val blocks_translated : t -> int
+val guest_blocks_executed : t -> int
+
+val digest : t -> int
+(** Same recipe as {!Vat_guest.Interp.digest}: a finished [Xrun] of a
+    program must produce the same digest as a finished interpreter run. *)
+
+val scratch_base : int
+(** Reserved address region for register-allocator spill slots; guest
+    programs must not touch addresses at or above it. *)

@@ -1,0 +1,1 @@
+lib/desim/event_queue.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/desim/event_queue.mli:

@@ -1,0 +1,34 @@
+(** Deterministic discrete-event scheduler.
+
+    Events are callbacks scheduled at absolute cycle times. Events scheduled
+    for the same cycle fire in insertion order, which keeps whole-system
+    simulations reproducible run to run. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulation time in cycles. *)
+
+val schedule : t -> at:int -> (unit -> unit) -> unit
+(** [schedule q ~at f] runs [f] when simulated time reaches [at]. [at] must
+    be [>= now q]; scheduling in the past raises [Invalid_argument]. *)
+
+val after : t -> delay:int -> (unit -> unit) -> unit
+(** [after q ~delay f] = [schedule q ~at:(now q + delay) f]. *)
+
+val pending : t -> int
+(** Number of events not yet fired. *)
+
+val step : t -> bool
+(** Fire the next event, advancing time to it. Returns [false] when the
+    queue is empty. *)
+
+val run_until : t -> limit:int -> unit
+(** Fire events in order until the queue drains or the next event would be
+    past [limit]. Time is left at the last fired event (or [limit] if the
+    queue drained earlier than [limit] — time never moves backwards). *)
+
+val run : t -> unit
+(** Fire events until the queue is empty. *)

@@ -1,0 +1,33 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t name r;
+    r
+
+let add t name n =
+  let r = cell t name in
+  r := !r + n
+
+let incr t name = add t name 1
+
+let set_max t name n =
+  let r = cell t name in
+  if n > !r then r := n
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let ratio t num den =
+  let d = get t den in
+  if d = 0 then 0.0 else float_of_int (get t num) /. float_of_int d
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let pp ppf t =
+  List.iter (fun name -> Format.fprintf ppf "%-40s %d@." name (get t name)) (names t)

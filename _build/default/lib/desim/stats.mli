@@ -1,0 +1,23 @@
+(** Named counters and gauges shared across simulation components.
+
+    A [Stats.t] is a flat registry: components bump counters by name and the
+    metrics layer reads them out at the end of a run. Counter reads of
+    never-bumped names return zero, so probes can be optional. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val set_max : t -> string -> int -> unit
+(** Keep the running maximum of a gauge. *)
+
+val get : t -> string -> int
+val ratio : t -> string -> string -> float
+(** [ratio t num den] = numerator / denominator as a float; 0.0 when the
+    denominator is zero. *)
+
+val names : t -> string list
+(** All counter names seen so far, sorted. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/guest/asm.ml: Buffer Char Encode Flags Hashtbl Insn List Printf String Syscall

@@ -1,0 +1,1 @@
+lib/guest/decode.ml: Char Flags Insn Printf String

@@ -1,0 +1,1 @@
+lib/guest/decode.mli: Insn

@@ -1,0 +1,1 @@
+lib/guest/encode.ml: Buffer Char Insn Printf String

@@ -1,0 +1,1 @@
+lib/guest/encode.mli: Buffer Insn

@@ -1,0 +1,1 @@
+lib/guest/image.ml: Array Asm Char Decode Hashtbl Insn List Mem Printf Program String

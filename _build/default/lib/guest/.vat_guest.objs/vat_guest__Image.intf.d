@@ -1,0 +1,1 @@
+lib/guest/image.mli: Asm Program

@@ -1,0 +1,1 @@
+lib/guest/insn.mli: Format

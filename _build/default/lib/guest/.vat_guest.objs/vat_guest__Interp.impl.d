@@ -1,0 +1,1 @@
+lib/guest/interp.ml: Array Char Decode Flags Hashtbl Insn Int64 Mem Printf Program String Syscall

@@ -1,0 +1,1 @@
+lib/guest/interp.mli: Insn Program

@@ -1,0 +1,1 @@
+lib/guest/mem.ml: Array Bytes Char Int32 String

@@ -1,0 +1,1 @@
+lib/guest/program.ml: Array Asm Hashtbl Mem Printf String

@@ -1,0 +1,1 @@
+lib/guest/program.mli: Asm Hashtbl Mem

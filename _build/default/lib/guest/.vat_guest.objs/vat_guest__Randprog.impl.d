@@ -1,0 +1,1 @@
+lib/guest/randprog.ml: Asm Char Insn List Printf Program Rng String Syscall Vat_desim

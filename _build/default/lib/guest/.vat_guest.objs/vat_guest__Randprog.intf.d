@@ -1,0 +1,1 @@
+lib/guest/randprog.mli: Asm Program Rng Vat_desim

@@ -1,0 +1,1 @@
+lib/guest/syscall.ml: Buffer Mem String

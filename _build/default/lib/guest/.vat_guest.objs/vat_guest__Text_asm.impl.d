@@ -1,0 +1,1 @@
+lib/guest/text_asm.ml: Asm Buffer Format Insn List Option Printf String

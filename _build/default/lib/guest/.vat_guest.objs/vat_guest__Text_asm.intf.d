@@ -1,0 +1,1 @@
+lib/guest/text_asm.mli: Asm Format

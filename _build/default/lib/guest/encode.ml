@@ -1,0 +1,256 @@
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+(* Opcode map. Keep in sync with Decode. *)
+let op_mov = 0x01
+let op_movb = 0x02
+let op_movzxb = 0x03
+let op_movsxb = 0x04
+let op_lea = 0x05
+let op_alu_base = 0x10 (* + alu index *)
+let op_shift_base = 0x20 (* + shift index *)
+let op_imul = 0x30
+let op_mul = 0x31
+let op_div = 0x32
+let op_idiv = 0x33
+let op_cdq = 0x34
+let op_push = 0x40
+let op_pop = 0x41
+let op_xchg = 0x42
+let op_setcc = 0x43
+let op_cmov = 0x44
+let op_rep_movsb = 0x70
+let op_rep_stosb = 0x71
+let op_jmp_d = 0x50
+let op_jmp_i = 0x51
+let op_jcc = 0x52
+let op_call_d = 0x53
+let op_call_i = 0x54
+let op_ret = 0x55
+let op_int = 0x60
+let op_nop = 0x90
+let op_hlt = 0xF4
+
+let alu_index : Insn.alu -> int = function
+  | Add -> 0 | Adc -> 1 | Sub -> 2 | Sbb -> 3 | And -> 4
+  | Or -> 5 | Xor -> 6 | Cmp -> 7 | Test -> 8
+
+let shift_index : Insn.shift -> int = function
+  | Shl -> 0 | Shr -> 1 | Sar -> 2 | Rol -> 3 | Ror -> 4
+
+let operand_size : int Insn.operand -> int = function
+  | Reg _ -> 2
+  | Imm _ -> 5
+  | Mem _ -> 7
+
+let check_operands ?(dst_imm_ok = false) (dst : int Insn.operand)
+    (src : int Insn.operand) =
+  (match (dst, src) with
+   | Mem _, Mem _ -> invalid "two memory operands"
+   | _ -> ());
+  match dst with
+  | Imm _ when not dst_imm_ok -> invalid "immediate destination"
+  | Imm _ | Reg _ | Mem _ -> ()
+
+let check_dst (dst : int Insn.operand) =
+  match dst with Imm _ -> invalid "immediate destination" | Reg _ | Mem _ -> ()
+
+let sizeof (insn : int Insn.t) =
+  match insn with
+  | Mov (d, s) | Movb (d, s) ->
+    check_operands d s;
+    1 + operand_size d + operand_size s
+  | Movzxb (_, s) | Movsxb (_, s) ->
+    (match s with Imm _ -> invalid "immediate byte source" | _ -> ());
+    1 + 1 + operand_size s
+  | Lea (_, m) -> 1 + 1 + operand_size (Mem m)
+  | Alu (a, d, s) ->
+    (match a with
+     | Cmp | Test -> check_operands ~dst_imm_ok:false d s
+     | _ -> check_operands d s);
+    1 + operand_size d + operand_size s
+  | Unop (_, d) ->
+    check_dst d;
+    1 + 1 + operand_size d
+  | Shift (_, d, amt) ->
+    check_dst d;
+    (match amt with
+     | Sh_imm n when n < 0 || n > 31 -> invalid "shift count %d" n
+     | Sh_imm _ | Sh_cl -> ());
+    1 + 1 + operand_size d
+  | Imul (_, s) -> 1 + 1 + operand_size s
+  | Mul s | Div s | Idiv s ->
+    (match s with Imm _ -> invalid "immediate divisor/multiplicand" | _ -> ());
+    1 + operand_size s
+  | Cdq -> 1
+  | Push s -> 1 + operand_size s
+  | Pop d ->
+    check_dst d;
+    1 + operand_size d
+  | Xchg _ -> 2
+  | Setcc (_, d) ->
+    check_dst d;
+    1 + 1 + operand_size d
+  | Cmovcc (_, _, s) -> 1 + 1 + 1 + operand_size s
+  | Rep_movsb | Rep_stosb -> 1
+  | Jmp (Direct _) -> 1 + 4
+  | Jmp (Indirect op) ->
+    (match op with Imm _ -> invalid "immediate indirect target" | _ -> ());
+    1 + operand_size op
+  | Jcc _ -> 1 + 1 + 4
+  | Call (Direct _) -> 1 + 4
+  | Call (Indirect op) ->
+    (match op with Imm _ -> invalid "immediate indirect target" | _ -> ());
+    1 + operand_size op
+  | Ret -> 1
+  | Int v ->
+    if v < 0 || v > 255 then invalid "interrupt vector %d" v;
+    1 + 1
+  | Nop -> 1
+  | Hlt -> 1
+
+(* A Unop is encoded as opcode 0x06 + unop index byte. *)
+let op_unop = 0x06
+
+let unop_index : Insn.unop -> int = function
+  | Inc -> 0 | Dec -> 1 | Neg -> 2 | Not -> 3
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u32 buf v =
+  put_u8 buf v;
+  put_u8 buf (v lsr 8);
+  put_u8 buf (v lsr 16);
+  put_u8 buf (v lsr 24)
+
+let put_reg buf r = put_u8 buf (Insn.reg_index r)
+
+let put_mem buf ({ base; index; disp } : int Insn.mem_operand) =
+  let b1 =
+    (match base with Some r -> 0x80 lor (Insn.reg_index r lsl 4) | None -> 0)
+    lor
+    match index with Some (r, _) -> 0x08 lor Insn.reg_index r | None -> 0
+  in
+  let b2 =
+    match index with
+    | Some (_, s) ->
+      (match s with Insn.S1 -> 0 | S2 -> 1 | S4 -> 2 | S8 -> 3)
+    | None -> 0
+  in
+  put_u8 buf b1;
+  put_u8 buf b2;
+  put_u32 buf disp
+
+let put_operand buf (op : int Insn.operand) =
+  match op with
+  | Reg r ->
+    put_u8 buf 0;
+    put_reg buf r
+  | Imm v ->
+    put_u8 buf 1;
+    put_u32 buf v
+  | Mem m ->
+    put_u8 buf 2;
+    put_mem buf m
+
+let put_rel buf ~at ~len target = put_u32 buf (target - (at + len))
+
+let encode_into buf ~at (insn : int Insn.t) =
+  let len = sizeof insn in
+  match insn with
+  | Mov (d, s) ->
+    put_u8 buf op_mov;
+    put_operand buf d;
+    put_operand buf s
+  | Movb (d, s) ->
+    put_u8 buf op_movb;
+    put_operand buf d;
+    put_operand buf s
+  | Movzxb (r, s) ->
+    put_u8 buf op_movzxb;
+    put_reg buf r;
+    put_operand buf s
+  | Movsxb (r, s) ->
+    put_u8 buf op_movsxb;
+    put_reg buf r;
+    put_operand buf s
+  | Lea (r, m) ->
+    put_u8 buf op_lea;
+    put_reg buf r;
+    put_operand buf (Mem m)
+  | Alu (a, d, s) ->
+    put_u8 buf (op_alu_base + alu_index a);
+    put_operand buf d;
+    put_operand buf s
+  | Unop (u, d) ->
+    put_u8 buf op_unop;
+    put_u8 buf (unop_index u);
+    put_operand buf d
+  | Shift (sh, d, amt) ->
+    put_u8 buf (op_shift_base + shift_index sh);
+    (match amt with Sh_cl -> put_u8 buf 0xFF | Sh_imm n -> put_u8 buf n);
+    put_operand buf d
+  | Imul (r, s) ->
+    put_u8 buf op_imul;
+    put_reg buf r;
+    put_operand buf s
+  | Mul s ->
+    put_u8 buf op_mul;
+    put_operand buf s
+  | Div s ->
+    put_u8 buf op_div;
+    put_operand buf s
+  | Idiv s ->
+    put_u8 buf op_idiv;
+    put_operand buf s
+  | Cdq -> put_u8 buf op_cdq
+  | Push s ->
+    put_u8 buf op_push;
+    put_operand buf s
+  | Pop d ->
+    put_u8 buf op_pop;
+    put_operand buf d
+  | Xchg (a, b) ->
+    put_u8 buf op_xchg;
+    put_u8 buf ((Insn.reg_index a lsl 4) lor Insn.reg_index b)
+  | Setcc (c, d) ->
+    put_u8 buf op_setcc;
+    put_u8 buf (Insn.cond_index c);
+    put_operand buf d
+  | Cmovcc (c, rd, s) ->
+    put_u8 buf op_cmov;
+    put_u8 buf (Insn.cond_index c);
+    put_reg buf rd;
+    put_operand buf s
+  | Rep_movsb -> put_u8 buf op_rep_movsb
+  | Rep_stosb -> put_u8 buf op_rep_stosb
+  | Jmp (Direct a) ->
+    put_u8 buf op_jmp_d;
+    put_rel buf ~at ~len a
+  | Jmp (Indirect op) ->
+    put_u8 buf op_jmp_i;
+    put_operand buf op
+  | Jcc (c, a) ->
+    put_u8 buf op_jcc;
+    put_u8 buf (Insn.cond_index c);
+    put_rel buf ~at ~len a
+  | Call (Direct a) ->
+    put_u8 buf op_call_d;
+    put_rel buf ~at ~len a
+  | Call (Indirect op) ->
+    put_u8 buf op_call_i;
+    put_operand buf op
+  | Ret -> put_u8 buf op_ret
+  | Int v ->
+    put_u8 buf op_int;
+    put_u8 buf v
+  | Nop -> put_u8 buf op_nop
+  | Hlt -> put_u8 buf op_hlt
+
+let encode ~at insn =
+  let buf = Buffer.create 16 in
+  encode_into buf ~at insn;
+  let s = Buffer.contents buf in
+  assert (String.length s = sizeof insn);
+  s

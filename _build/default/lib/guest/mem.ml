@@ -1,0 +1,61 @@
+exception Fault of { addr : int; access : string }
+
+let page_size = 4096
+let page_of addr = addr lsr 12
+
+type t = { data : Bytes.t; pages : int; gens : int array }
+
+let create ~size =
+  let pages = (size + page_size - 1) / page_size in
+  { data = Bytes.make (pages * page_size) '\000'; pages; gens = Array.make pages 0 }
+
+let size t = Bytes.length t.data
+
+let check t addr n access =
+  if addr < 0 || addr + n > Bytes.length t.data then
+    raise (Fault { addr; access })
+
+let read_u8 t addr =
+  check t addr 1 "read1";
+  Char.code (Bytes.unsafe_get t.data addr)
+
+let read_u32 t addr =
+  check t addr 4 "read4";
+  Int32.to_int (Bytes.get_int32_le t.data addr) land 0xFFFFFFFF
+
+let touch t addr =
+  let p = page_of addr in
+  if p < t.pages then t.gens.(p) <- t.gens.(p) + 1
+
+let write_u8 t addr v =
+  check t addr 1 "write1";
+  Bytes.unsafe_set t.data addr (Char.chr (v land 0xFF));
+  touch t addr
+
+let write_u32 t addr v =
+  check t addr 4 "write4";
+  Bytes.set_int32_le t.data addr (Int32.of_int v);
+  touch t addr;
+  (* A 4-byte store can straddle a page boundary. *)
+  if page_of addr <> page_of (addr + 3) then touch t (addr + 3)
+
+let load_string t ~at s =
+  check t at (String.length s) "load";
+  Bytes.blit_string s 0 t.data at (String.length s);
+  let first = page_of at and last = page_of (at + max 0 (String.length s - 1)) in
+  for p = first to last do
+    if p < t.pages then t.gens.(p) <- t.gens.(p) + 1
+  done
+
+let read_string t ~at ~len =
+  check t at len "read";
+  Bytes.sub_string t.data at len
+
+let page_generation t ~page = if page < t.pages then t.gens.(page) else 0
+
+let checksum t =
+  let h = ref 0xcbf29ce4 in
+  for i = 0 to Bytes.length t.data - 1 do
+    h := ((!h lxor Char.code (Bytes.unsafe_get t.data i)) * 0x100000001b3) land max_int
+  done;
+  !h

@@ -1,0 +1,39 @@
+(** Flat byte-addressable guest physical memory.
+
+    Little-endian, fixed size, bounds-checked. Page-granularity store
+    generations support self-modifying-code detection: every store bumps the
+    generation of the page it touches, and consumers (the interpreter's
+    decode cache, the DBT's translated-page registry) compare generations to
+    notice that cached code may be stale. *)
+
+exception Fault of { addr : int; access : string }
+
+type t
+
+val create : size:int -> t
+(** Zero-filled memory of [size] bytes. [size] is rounded up to a whole
+    number of pages. *)
+
+val size : t -> int
+val page_size : int
+(** 4096 bytes. *)
+
+val read_u8 : t -> int -> int
+val read_u32 : t -> int -> int
+(** Unsigned 32-bit little-endian load (result in [0, 2^32)). *)
+
+val write_u8 : t -> int -> int -> unit
+val write_u32 : t -> int -> int -> unit
+
+val load_string : t -> at:int -> string -> unit
+(** Copy a string into memory. Counts as a store for page generations. *)
+
+val read_string : t -> at:int -> len:int -> string
+
+val page_of : int -> int
+val page_generation : t -> page:int -> int
+(** Monotonic counter bumped by every store touching [page]. *)
+
+val checksum : t -> int
+(** Order-independent-of-nothing FNV-style digest of all bytes; used by
+    tests to compare whole memory states cheaply. *)

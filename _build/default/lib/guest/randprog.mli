@@ -1,0 +1,27 @@
+open Vat_desim
+
+(** Structured random guest programs for differential testing.
+
+    Generated programs terminate by construction (loops have constant trip
+    counts, the call graph is acyclic, all backward branches are loop
+    latches) and never fault (memory operands are confined to a data
+    region addressed off ESI, divides are guarded, stack traffic is
+    balanced). A reference-interpreter run and a translated run of the
+    same generated program must therefore finish with identical digests —
+    the central soundness property of the translator. *)
+
+type params = {
+  functions : int;      (** callable functions in addition to [start] *)
+  blocks_per_fun : int; (** straight-line chunks per function *)
+  insns_per_block : int;
+  loops : bool;         (** allow constant-trip-count loops *)
+  data_bytes : int;     (** size of the addressable data region *)
+}
+
+val default_params : params
+
+val generate : Rng.t -> params -> Asm.item list
+(** A complete program (has [start], initialized data, ends with exit). *)
+
+val generate_program : Rng.t -> params -> Program.t
+(** [generate] assembled and loaded. *)

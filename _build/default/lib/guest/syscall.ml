@@ -1,0 +1,52 @@
+let vector = 0x80
+let sys_exit = 1
+let sys_read = 3
+let sys_write = 4
+let sys_getpid = 20
+let sys_brk = 45
+
+type world = {
+  out : Buffer.t;
+  input : string;
+  mutable input_pos : int;
+  mutable brk : int;
+}
+
+let create_world ?(input = "") ~brk0 () =
+  { out = Buffer.create 256; input; input_pos = 0; brk = brk0 }
+
+let output w = Buffer.contents w.out
+let brk_value w = w.brk
+
+type result = Continue of int | Exit of int
+
+let enosys = -38
+
+let dispatch w mem ~eax ~ebx ~ecx ~edx =
+  if eax = sys_exit then Exit (ebx land 0xFF)
+  else if eax = sys_write then begin
+    (* write(fd=ebx, buf=ecx, len=edx); fd is recorded but all output is
+       captured into one buffer, as the paper's proxy tile funnels I/O. *)
+    let len = min edx 65536 in
+    match Mem.read_string mem ~at:ecx ~len with
+    | s ->
+      Buffer.add_string w.out s;
+      Continue len
+    | exception Mem.Fault _ -> Continue (-14) (* -EFAULT *)
+  end
+  else if eax = sys_read then begin
+    let want = min edx 65536 in
+    let avail = String.length w.input - w.input_pos in
+    let n = min want avail in
+    match Mem.load_string mem ~at:ecx (String.sub w.input w.input_pos n) with
+    | () ->
+      w.input_pos <- w.input_pos + n;
+      Continue n
+    | exception Mem.Fault _ -> Continue (-14)
+  end
+  else if eax = sys_getpid then Continue 1
+  else if eax = sys_brk then begin
+    if ebx > w.brk && ebx < Mem.size mem then w.brk <- ebx;
+    Continue w.brk
+  end
+  else Continue enosys

@@ -1,0 +1,36 @@
+(** Proxy system-call interface.
+
+    As in the paper, only statically linked userland programs are supported
+    and system calls are proxied: the guest raises [int 0x80] with the call
+    number in EAX and arguments in EBX/ECX/EDX (Linux i386 convention), and
+    the host services it. The same module is used by the reference
+    interpreter and by the DBT system's syscall tile, so both see identical
+    semantics. *)
+
+val vector : int
+(** The software-interrupt vector used for system calls (0x80). *)
+
+(* Linux i386 numbers for the supported subset. *)
+val sys_exit : int
+val sys_read : int
+val sys_write : int
+val sys_getpid : int
+val sys_brk : int
+
+type world
+(** Mutable OS-side state: captured output, input stream, program break. *)
+
+val create_world : ?input:string -> brk0:int -> unit -> world
+val output : world -> string
+(** Everything the guest has written so far. *)
+
+val brk_value : world -> int
+
+type result =
+  | Continue of int   (** value to put in EAX *)
+  | Exit of int       (** guest called exit(status) *)
+
+val dispatch :
+  world -> Mem.t -> eax:int -> ebx:int -> ecx:int -> edx:int -> result
+(** Service one system call. Unknown numbers return [Continue (-38)]
+    (-ENOSYS), like a real kernel. *)

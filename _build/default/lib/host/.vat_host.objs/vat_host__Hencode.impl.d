@@ -1,0 +1,1 @@
+lib/host/hencode.ml: Array Hinsn Printf

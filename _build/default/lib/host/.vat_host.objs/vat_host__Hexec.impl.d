@@ -1,0 +1,1 @@
+lib/host/hexec.ml: Array Hinsn Int64

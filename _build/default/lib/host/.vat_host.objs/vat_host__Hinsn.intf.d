@@ -1,0 +1,1 @@
+lib/host/hinsn.mli: Format

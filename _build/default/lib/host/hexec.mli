@@ -1,0 +1,42 @@
+(** Pure H-ISA execution semantics.
+
+    The single source of truth for what each host instruction computes,
+    shared by the DBT runtime-execution engine (which adds timing and the
+    memory system) and by the plain block runner used in translator unit
+    tests. All register values are unsigned 32-bit ints in [0, 2^32). *)
+
+type mem_access = {
+  load : Hinsn.width -> int -> int;
+  store : Hinsn.width -> int -> int -> unit;
+}
+
+type step_result =
+  | Next
+  | Goto of int       (** taken local branch/jump, target index *)
+  | Trapped of Hinsn.trap
+
+val eval_alu3 : Hinsn.alu3 -> int -> int -> int
+val eval_alui : Hinsn.alui -> int -> int -> int
+(** The immediate is applied with MIPS conventions: sign-extended for
+    Addi/Slti, zero-extended for the logical ops and Sltiu. *)
+
+val eval_shift : Hinsn.shift -> int -> int -> int
+(** Count is masked to 5 bits. *)
+
+val eval_branch : Hinsn.brcond -> int -> int -> bool
+
+val step : regs:int array -> mem:mem_access -> Hinsn.t -> step_result
+(** Execute one instruction against a 32-entry register file. [regs.(0)]
+    reads as zero and ignores writes. *)
+
+type block_result =
+  | Fell_through
+  | Trap of Hinsn.trap
+  | Out_of_steps
+
+val run_block :
+  code:Hinsn.t array -> regs:int array -> mem:mem_access -> fuel:int ->
+  block_result
+(** Execute a linearized block from index 0 until control falls off the
+    end. Used by translator tests; the timed engine in [vat.core] has its
+    own loop. *)

@@ -1,0 +1,1 @@
+lib/ir/emit.ml: Hinsn Lblock List Vat_host

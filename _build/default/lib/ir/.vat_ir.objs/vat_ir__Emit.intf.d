@@ -1,0 +1,1 @@
+lib/ir/emit.mli: Hinsn Lblock Vat_host

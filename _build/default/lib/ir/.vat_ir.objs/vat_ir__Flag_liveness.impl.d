@@ -1,0 +1,1 @@
+lib/ir/flag_liveness.ml: Array Flags Insn Vat_guest

@@ -1,0 +1,1 @@
+lib/ir/flag_liveness.mli: Insn Vat_guest

@@ -1,0 +1,1 @@
+lib/ir/lblock.ml: Array Format Hashtbl Hinsn List Printf Vat_host

@@ -1,0 +1,1 @@
+lib/ir/lblock.mli: Format Hinsn Vat_host

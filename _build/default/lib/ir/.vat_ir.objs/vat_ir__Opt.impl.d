@@ -1,0 +1,1 @@
+lib/ir/opt.ml: Array Hashtbl Hexec Hinsn Int Lblock List Set Vat_host

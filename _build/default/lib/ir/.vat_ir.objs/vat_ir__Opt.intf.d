@@ -1,0 +1,1 @@
+lib/ir/opt.mli: Hinsn Lblock Vat_host

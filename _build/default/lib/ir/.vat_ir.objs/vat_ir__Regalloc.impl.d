@@ -1,0 +1,1 @@
+lib/ir/regalloc.ml: Hashtbl Hinsn Lblock List Printf Vat_host

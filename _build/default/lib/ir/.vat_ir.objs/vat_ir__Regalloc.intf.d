@@ -1,0 +1,1 @@
+lib/ir/regalloc.mli: Hinsn Lblock Vat_host

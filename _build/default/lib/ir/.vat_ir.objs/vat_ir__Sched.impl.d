@@ -1,0 +1,1 @@
+lib/ir/sched.ml: Array Hinsn Lblock List Vat_host

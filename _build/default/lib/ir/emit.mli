@@ -1,0 +1,36 @@
+open Vat_host
+
+(** Instruction emitter used by the translator's code generator: fresh
+    virtual registers, fresh labels, and constant materialization. *)
+
+type t
+
+val create : unit -> t
+
+val vreg : t -> Hinsn.reg
+(** Fresh virtual register. *)
+
+val lab : t -> int
+(** Fresh label id. *)
+
+val ins : t -> Hinsn.t -> unit
+val place : t -> int -> unit
+(** Bind a label at the current position. *)
+
+val li : t -> Hinsn.reg -> int -> unit
+(** Load a 32-bit constant, choosing the shortest sequence (nothing beats
+    reading r0 for zero; otherwise Addi/Ori/Lui or Lui+Ori). *)
+
+val li_reg : t -> int -> Hinsn.reg
+(** [li] into a fresh vreg, returning it. Zero returns r0 directly. *)
+
+val addi_big : t -> dst:Hinsn.reg -> src:Hinsn.reg -> int -> unit
+(** dst = src + constant, handling constants that do not fit imm16. *)
+
+val mov : t -> dst:Hinsn.reg -> src:Hinsn.reg -> unit
+
+val items : t -> Lblock.t
+(** Everything emitted so far, in order. *)
+
+val length : t -> int
+(** Number of instructions (markers excluded) emitted so far. *)

@@ -1,0 +1,68 @@
+open Vat_host
+
+type item =
+  | L of int
+  | I of Hinsn.t
+
+type t = item list
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let insns t =
+  List.filter_map (function I i -> Some i | L _ -> None) t
+
+let linearize t =
+  (* Map label id -> instruction index (index of the next real insn). *)
+  let labels = Hashtbl.create 8 in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | L id ->
+        if Hashtbl.mem labels id then malformed "duplicate label %d" id;
+        Hashtbl.add labels id !idx
+      | I _ -> incr idx)
+    t;
+  let total = !idx in
+  let resolve pos id =
+    match Hashtbl.find_opt labels id with
+    | None -> malformed "undefined label %d" id
+    | Some target ->
+      if target <= pos then malformed "backward branch to label %d" id;
+      (* A branch to the block end is a fall-through; clamp to total. *)
+      min target total
+  in
+  let out = Array.make total Hinsn.Nop in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | L _ -> ()
+      | I insn ->
+        out.(!idx) <- Hinsn.map_target (resolve !idx) insn;
+        incr idx)
+    t;
+  out
+
+let succ_positions items pos =
+  let n = Array.length items in
+  (* Label ids -> positions, computed on demand (arrays are small). *)
+  let label_pos id =
+    let rec find i =
+      if i >= n then malformed "undefined label %d" id
+      else match items.(i) with L id' when id' = id -> i | _ -> find (i + 1)
+    in
+    find 0
+  in
+  match items.(pos) with
+  | L _ -> [ pos + 1 ]
+  | I (Hinsn.Jump id) -> [ label_pos id ]
+  | I (Hinsn.Branch (_, _, _, id)) -> [ pos + 1; label_pos id ]
+  | I _ -> [ pos + 1 ]
+
+let pp ppf t =
+  List.iter
+    (function
+      | L id -> Format.fprintf ppf "L%d:@." id
+      | I insn -> Format.fprintf ppf "  %a@." Hinsn.pp insn)
+    t

@@ -1,0 +1,157 @@
+open Vat_host
+
+let scratch_base_reg = 26
+let shuttle_regs = (27, 28)
+
+exception Alloc_error of string
+
+let is_vreg r = r >= Hinsn.first_vreg
+
+(* Live interval of each vreg: [first, last] item positions. Forward-only
+   internal branches make this exact (a value cannot flow backward). *)
+let intervals items =
+  let tbl : (Hinsn.reg, int * int) Hashtbl.t = Hashtbl.create 32 in
+  List.iteri
+    (fun pos (item : Lblock.item) ->
+      match item with
+      | L _ -> ()
+      | I insn ->
+        let touch r =
+          if is_vreg r then
+            match Hashtbl.find_opt tbl r with
+            | None -> Hashtbl.replace tbl r (pos, pos)
+            | Some (first, _) -> Hashtbl.replace tbl r (first, pos)
+        in
+        List.iter touch (Hinsn.defs insn);
+        List.iter touch (Hinsn.uses insn))
+    items;
+  tbl
+
+(* One allocation attempt: returns [Ok mapping] or [Error vregs_to_spill]. *)
+let try_assign items =
+  let tbl = intervals items in
+  let ivals =
+    Hashtbl.fold (fun r (first, last) acc -> (r, first, last) :: acc) tbl []
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+  in
+  let free = ref Hinsn.temp_regs in
+  let active = ref [] in (* (vreg, last, hw) *)
+  let mapping : (Hinsn.reg, Hinsn.reg) Hashtbl.t = Hashtbl.create 32 in
+  let spills = ref [] in
+  List.iter
+    (fun (v, first, last) ->
+      (* Expire intervals that ended before this one starts. *)
+      let expired, still = List.partition (fun (_, l, _) -> l < first) !active in
+      List.iter (fun (_, _, hw) -> free := hw :: !free) expired;
+      active := still;
+      match !free with
+      | hw :: rest ->
+        free := rest;
+        Hashtbl.replace mapping v hw;
+        active := (v, last, hw) :: !active
+      | [] ->
+        (* Spill the interval with the furthest end (this one or an active
+           one). Spilling an active interval frees its register. *)
+        let furthest =
+          List.fold_left
+            (fun ((_, bl, _) as best) ((_, l, _) as cand) ->
+              if l > bl then cand else best)
+            (v, last, -1) !active
+        in
+        let victim, _, victim_hw = furthest in
+        if victim = v then spills := v :: !spills
+        else begin
+          spills := victim :: !spills;
+          Hashtbl.remove mapping victim;
+          active := List.filter (fun (r, _, _) -> r <> victim) !active;
+          Hashtbl.replace mapping v victim_hw;
+          active := (v, last, victim_hw) :: !active
+        end)
+    ivals;
+  if !spills = [] then Ok mapping else Error !spills
+
+(* Rewrite spilled vregs into loads/stores around each instruction. *)
+let rewrite_spills spilled items =
+  let slot : (Hinsn.reg, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri (fun i v -> Hashtbl.replace slot v (i * 4)) spilled;
+  let s1, s2 = shuttle_regs in
+  let rewrite (item : Lblock.item) : Lblock.item list =
+    match item with
+    | L _ -> [ item ]
+    | I insn ->
+      let uses = List.filter (fun r -> Hashtbl.mem slot r) (Hinsn.uses insn) in
+      let defs = List.filter (fun r -> Hashtbl.mem slot r) (Hinsn.defs insn) in
+      if uses = [] && defs = [] then [ item ]
+      else begin
+        let uses = List.sort_uniq compare uses in
+        let assign =
+          match uses with
+          | [] -> []
+          | [ a ] -> [ (a, s1) ]
+          | [ a; b ] -> [ (a, s1); (b, s2) ]
+          | _ -> raise (Alloc_error "more than two spilled sources")
+        in
+        let shuttle_of r =
+          match List.assoc_opt r assign with
+          | Some s -> s
+          | None -> (
+            (* A pure def: route it through s1 (never both a source
+               shuttle and the def shuttle unless it is also a use, in
+               which case reuse its source shuttle). *)
+            match defs with _ -> s1)
+        in
+        let pre =
+          List.map
+            (fun (v, s) ->
+              Lblock.I (Hinsn.Load (W32, s, scratch_base_reg, Hashtbl.find slot v)))
+            assign
+        in
+        let rename r =
+          if Hashtbl.mem slot r then
+            match List.assoc_opt r assign with
+            | Some s -> s
+            | None -> shuttle_of r
+          else r
+        in
+        let core = Hinsn.map_regs rename insn in
+        let post =
+          List.map
+            (fun v ->
+              let s = rename v in
+              Lblock.I (Hinsn.Store (W32, s, scratch_base_reg, Hashtbl.find slot v)))
+            defs
+        in
+        pre @ [ Lblock.I core ] @ post
+      end
+  in
+  List.concat_map rewrite items
+
+let rec allocate items =
+  match try_assign items with
+  | Ok mapping ->
+    let rename r =
+      if is_vreg r then
+        match Hashtbl.find_opt mapping r with
+        | Some hw -> hw
+        | None -> raise (Alloc_error (Printf.sprintf "unmapped vreg %d" r))
+      else r
+    in
+    List.map
+      (fun (item : Lblock.item) ->
+        match item with
+        | L _ -> item
+        | I insn -> Lblock.I (Hinsn.map_regs rename insn))
+      items
+  | Error spills -> allocate (rewrite_spills (List.sort_uniq compare spills) items)
+
+let spill_slots_used items =
+  let max_off = ref (-4) in
+  List.iter
+    (fun (item : Lblock.item) ->
+      match item with
+      | I (Hinsn.Load (W32, _, base, off)) | I (Hinsn.Store (W32, _, base, off))
+        when base = scratch_base_reg ->
+        if off > !max_off then max_off := off
+      | _ -> ())
+    items;
+  (!max_off + 4) / 4

@@ -1,0 +1,102 @@
+open Vat_host
+
+(* List scheduler over straight-line segments.
+
+   The runtime-execution tile is in-order and single-issue but scoreboards
+   loads: a load's latency is hidden exactly when independent instructions
+   separate it from its first use. Within each segment (no labels,
+   branches, stores, traps, or macro-ops crossed) we therefore reorder so
+   that loads — and the address arithmetic feeding them — issue as early
+   as dependences allow, pushing consumers later. *)
+
+let intersects a b = List.exists (fun r -> r <> Hinsn.r0 && List.mem r b) a
+
+(* Dependence between an earlier and a later instruction. *)
+let depends earlier later =
+  let de = Hinsn.defs earlier and ue = Hinsn.uses earlier in
+  let dl = Hinsn.defs later and ul = Hinsn.uses later in
+  intersects de ul (* RAW *)
+  || intersects ue dl (* WAR *)
+  || intersects de dl (* WAW *)
+
+let is_barrier (insn : Hinsn.t) =
+  match insn with
+  | Store _ | Branch _ | Jump _ | Trap _ | Mul64 _ | Div64 _ -> true
+  | Load _ | Alu3 _ | Alui _ | Lui _ | Shifti _ | Shiftv _ | Ext _ | Ins _
+  | Nop -> false
+
+let is_load (insn : Hinsn.t) = match insn with Load _ -> true | _ -> false
+
+(* Schedule one segment of non-barrier instructions. *)
+let schedule_segment insns =
+  let n = Array.length insns in
+  if n <= 2 then Array.to_list insns
+  else begin
+    (* preds.(j) = indexes i < j that j depends on. *)
+    let preds = Array.make n [] in
+    for j = 1 to n - 1 do
+      for i = 0 to j - 1 do
+        if depends insns.(i) insns.(j) then preds.(j) <- i :: preds.(j)
+      done
+    done;
+    (* feeds_load.(i): some unscheduled load transitively depends on i. *)
+    let feeds_load = Array.make n false in
+    for j = n - 1 downto 0 do
+      if is_load insns.(j) || feeds_load.(j) then
+        List.iter (fun i -> feeds_load.(i) <- true) preds.(j)
+    done;
+    let scheduled = Array.make n false in
+    let result = ref [] in
+    for _ = 1 to n do
+      (* Ready = all predecessors scheduled. Prefer loads, then load
+         ancestry, then anything; break ties by original order. *)
+      let best = ref (-1) in
+      let best_rank = ref 3 in
+      for j = 0 to n - 1 do
+        if (not scheduled.(j))
+           && List.for_all (fun i -> scheduled.(i)) preds.(j)
+        then begin
+          let rank =
+            if is_load insns.(j) then 0
+            else if feeds_load.(j) then 1
+            else 2
+          in
+          if rank < !best_rank then begin
+            best_rank := rank;
+            best := j
+          end
+        end
+      done;
+      assert (!best >= 0);
+      scheduled.(!best) <- true;
+      result := insns.(!best) :: !result
+    done;
+    List.rev !result
+  end
+
+let hoist_loads ?max_lift:_ items =
+  (* Split into segments at labels and barrier instructions. *)
+  let out = ref [] in
+  let segment = ref [] in
+  let flush () =
+    if !segment <> [] then begin
+      let scheduled = schedule_segment (Array.of_list (List.rev !segment)) in
+      out := List.rev_append (List.map (fun i -> Lblock.I i) scheduled) !out;
+      segment := []
+    end
+  in
+  List.iter
+    (fun (item : Lblock.item) ->
+      match item with
+      | L _ ->
+        flush ();
+        out := item :: !out
+      | I insn ->
+        if is_barrier insn then begin
+          flush ();
+          out := item :: !out
+        end
+        else segment := insn :: !segment)
+    items;
+  flush ();
+  List.rev !out

@@ -1,0 +1,1 @@
+lib/refmodel/piii.ml: Array Cache Flags Insn Interp Vat_guest Vat_tiled

@@ -1,0 +1,1 @@
+lib/refmodel/piii.mli: Interp Program Vat_guest

@@ -1,0 +1,1 @@
+lib/tiled/grid.mli:

@@ -1,0 +1,1 @@
+lib/tiled/service.ml: Event_queue List Queue Vat_desim

@@ -1,0 +1,1 @@
+lib/tiled/service.mli: Event_queue Vat_desim

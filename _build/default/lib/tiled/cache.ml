@@ -1,0 +1,107 @@
+type t = {
+  name : string;
+  size_bytes : int;
+  line_bytes : int;
+  sets : int;
+  ways : int;
+  tags : int array;          (* sets * ways; -1 = invalid *)
+  lru : int array;           (* sets * ways; higher = more recent *)
+  dirty : bool array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~name ~size_bytes ~ways ~line_bytes =
+  if size_bytes mod (ways * line_bytes) <> 0 then
+    invalid_arg "Cache.create: size not a multiple of ways * line";
+  let sets = size_bytes / (ways * line_bytes) in
+  { name;
+    size_bytes;
+    line_bytes;
+    sets;
+    ways;
+    tags = Array.make (sets * ways) (-1);
+    lru = Array.make (sets * ways) 0;
+    dirty = Array.make (sets * ways) false;
+    tick = 0;
+    hits = 0;
+    misses = 0 }
+
+let name t = t.name
+let size_bytes t = t.size_bytes
+let line_bytes t = t.line_bytes
+
+type result = { hit : bool; writeback : int option }
+
+let set_and_tag t addr =
+  let line = addr / t.line_bytes in
+  (line mod t.sets, line / t.sets)
+
+let slot t set way = (set * t.ways) + way
+
+let find_way t set tag =
+  let rec go way =
+    if way >= t.ways then None
+    else if t.tags.(slot t set way) = tag then Some way
+    else go (way + 1)
+  in
+  go 0
+
+let line_addr t set tag = ((tag * t.sets) + set) * t.line_bytes
+
+let access t ~addr ~write =
+  let set, tag = set_and_tag t addr in
+  t.tick <- t.tick + 1;
+  match find_way t set tag with
+  | Some way ->
+    t.hits <- t.hits + 1;
+    let s = slot t set way in
+    t.lru.(s) <- t.tick;
+    if write then t.dirty.(s) <- true;
+    { hit = true; writeback = None }
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Choose victim: invalid way if any, else least recently used. *)
+    let victim = ref 0 in
+    let best = ref max_int in
+    for way = 0 to t.ways - 1 do
+      let s = slot t set way in
+      if t.tags.(s) = -1 && !best > -1 then begin
+        victim := way;
+        best := -1
+      end
+      else if !best > -1 && t.lru.(s) < !best then begin
+        victim := way;
+        best := t.lru.(s)
+      end
+    done;
+    let s = slot t set !victim in
+    let writeback =
+      if t.tags.(s) <> -1 && t.dirty.(s) then Some (line_addr t set t.tags.(s))
+      else None
+    in
+    t.tags.(s) <- tag;
+    t.lru.(s) <- t.tick;
+    t.dirty.(s) <- write;
+    { hit = false; writeback }
+
+let probe t ~addr =
+  let set, tag = set_and_tag t addr in
+  find_way t set tag <> None
+
+let dirty_lines t =
+  let n = ref 0 in
+  Array.iteri (fun i d -> if d && t.tags.(i) <> -1 then incr n) t.dirty;
+  !n
+
+let flush t =
+  let dirty = dirty_lines t in
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.lru 0 (Array.length t.lru) 0;
+  dirty
+
+let hits t = t.hits
+let misses t = t.misses
+let accesses t = t.hits + t.misses

@@ -1,0 +1,38 @@
+(** Set-associative write-back cache timing model.
+
+    This is a tags-only model: data values always live in the functional
+    guest memory, while the cache decides hit/miss/writeback {e timing}.
+    LRU replacement, write-allocate. Used for the execution tile's L1 data
+    cache, the L2 data-cache banks, and the Pentium III reference model's
+    hierarchy. *)
+
+type t
+
+val create : name:string -> size_bytes:int -> ways:int -> line_bytes:int -> t
+(** [size_bytes] must be a multiple of [ways * line_bytes]. *)
+
+val name : t -> string
+val size_bytes : t -> int
+val line_bytes : t -> int
+
+type result = {
+  hit : bool;
+  writeback : int option;
+      (** Line-aligned address of a dirty line evicted by this access. *)
+}
+
+val access : t -> addr:int -> write:bool -> result
+(** Look up (and on miss, allocate) the line containing [addr]. *)
+
+val probe : t -> addr:int -> bool
+(** Hit test with no state change. *)
+
+val flush : t -> int
+(** Invalidate everything; returns the number of dirty lines that needed
+    writing back. *)
+
+val dirty_lines : t -> int
+
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int

@@ -1,0 +1,24 @@
+type coord = { x : int; y : int }
+
+type t = { w : int; h : int }
+
+let create ?(width = 4) ?(height = 4) () =
+  if width <= 0 || height <= 0 then invalid_arg "Grid.create";
+  { w = width; h = height }
+
+let width t = t.w
+let height t = t.h
+let tiles t = t.w * t.h
+
+let tile_index t { x; y } =
+  if x < 0 || x >= t.w || y < 0 || y >= t.h then invalid_arg "Grid.tile_index";
+  (y * t.w) + x
+
+let coord_of_index t i =
+  if i < 0 || i >= tiles t then invalid_arg "Grid.coord_of_index";
+  { x = i mod t.w; y = i / t.w }
+
+let hops a b = abs (a.x - b.x) + abs (a.y - b.y)
+
+let message_latency _t ~src ~dst =
+  if src = dst then 1 else 1 + hops src dst + 1 + 1

@@ -1,0 +1,30 @@
+(** Tile-grid geometry and network timing.
+
+    The Raw-like host is a [width] x [height] grid of tiles connected by a
+    dimension-ordered dynamic network. Message latency between tiles is
+    [inject + per-hop * manhattan-distance + eject + header]; spatial
+    layout therefore matters, exactly as the paper's "explicitly manage
+    on-chip layout and communication distance" requires. Contention is not
+    modelled in the wires (it is modelled at the service tiles, which
+    serialize — see {!Service}). *)
+
+type coord = { x : int; y : int }
+
+type t
+
+val create : ?width:int -> ?height:int -> unit -> t
+(** Default 4 x 4 (the Raw prototype). *)
+
+val width : t -> int
+val height : t -> int
+val tiles : t -> int
+
+val tile_index : t -> coord -> int
+val coord_of_index : t -> int -> coord
+
+val hops : coord -> coord -> int
+(** Manhattan distance. *)
+
+val message_latency : t -> src:coord -> dst:coord -> int
+(** inject(1) + 1 cycle/hop + eject(1) + header(1); a message to self costs
+    the header only. *)

@@ -1,0 +1,67 @@
+open Vat_desim
+
+type 'req t = {
+  q : Event_queue.t;
+  name : string;
+  serve : 'req -> int * (unit -> unit);
+  pending : 'req Queue.t;
+  mutable in_service : bool;
+  mutable paused : bool;
+  mutable busy_cycles : int;
+  mutable served : int;
+  mutable waiters : (unit -> unit) list;
+}
+
+let create q ~name ~serve =
+  { q;
+    name;
+    serve;
+    pending = Queue.create ();
+    in_service = false;
+    paused = false;
+    busy_cycles = 0;
+    served = 0;
+    waiters = [] }
+
+(* "Idle" for drain purposes: nothing in service, and nothing startable
+   (a paused service with queued work counts as drained — the queue will
+   resume after the role change). *)
+let idle t = (not t.in_service) && (t.paused || Queue.is_empty t.pending)
+
+let notify_if_idle t =
+  if idle t && t.waiters <> [] then begin
+    let ws = List.rev t.waiters in
+    t.waiters <- [];
+    List.iter (fun w -> w ()) ws
+  end
+
+let rec start_next t =
+  if (not t.in_service) && (not t.paused) && not (Queue.is_empty t.pending)
+  then begin
+    let req = Queue.pop t.pending in
+    let occupancy, on_complete = t.serve req in
+    t.in_service <- true;
+    t.busy_cycles <- t.busy_cycles + occupancy;
+    Event_queue.after t.q ~delay:(max 1 occupancy) (fun () ->
+        t.in_service <- false;
+        t.served <- t.served + 1;
+        on_complete ();
+        start_next t;
+        notify_if_idle t)
+  end
+
+let submit t ~delay req =
+  Event_queue.after t.q ~delay:(max 0 delay) (fun () ->
+      Queue.push req t.pending;
+      start_next t)
+
+let queue_length t = Queue.length t.pending + if t.in_service then 1 else 0
+let busy_cycles t = t.busy_cycles
+let served t = t.served
+
+let drain_then t action =
+  if idle t then action () else t.waiters <- action :: t.waiters
+
+let set_paused t paused =
+  t.paused <- paused;
+  if not paused then start_next t

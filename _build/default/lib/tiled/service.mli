@@ -1,0 +1,40 @@
+open Vat_desim
+
+(** A tile acting as a serialized service center.
+
+    Requests arrive (after their network latency), queue FIFO, and are
+    served one at a time; the handler returns the service occupancy in
+    cycles and an action to run at completion (typically sending a reply).
+    This one-at-a-time discipline is what creates congestion at shared
+    tiles — the paper's central observation about the L2 code-cache
+    manager tile. *)
+
+type 'req t
+
+val create :
+  Event_queue.t ->
+  name:string ->
+  serve:('req -> int * (unit -> unit)) ->
+  'req t
+(** [serve req] returns [(occupancy_cycles, on_complete)]. *)
+
+val submit : 'req t -> delay:int -> 'req -> unit
+(** Deliver a request after [delay] cycles (its network latency). *)
+
+val queue_length : _ t -> int
+(** Requests waiting or in service right now. *)
+
+val busy_cycles : _ t -> int
+(** Total cycles spent serving (utilization numerator). *)
+
+val served : _ t -> int
+
+val drain_then : _ t -> (unit -> unit) -> unit
+(** Run an action once the service is idle with an empty queue (used by
+    reconfiguration to let a tile finish its current work before it
+    changes role). Fires immediately if already idle. *)
+
+val set_paused : _ t -> bool -> unit
+(** A paused service accepts and queues requests but does not start
+    serving new ones (in-flight service completes). Used while a tile's
+    role is being morphed. *)

@@ -1,0 +1,1 @@
+lib/workloads/bzip2.ml: Asm Gen String Vat_guest

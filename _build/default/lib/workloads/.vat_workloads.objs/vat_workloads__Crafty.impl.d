@@ -1,0 +1,1 @@
+lib/workloads/crafty.ml: Asm Gen List Printf Vat_desim Vat_guest

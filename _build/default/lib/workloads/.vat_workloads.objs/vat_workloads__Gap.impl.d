@@ -1,0 +1,1 @@
+lib/workloads/gap.ml: Asm Gen Vat_guest

@@ -1,0 +1,1 @@
+lib/workloads/gcc_w.ml: Array Asm Gen Insn List Printf Rng Vat_desim Vat_guest

@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Asm Char Insn List Printf Rng String Syscall Vat_desim Vat_guest

@@ -1,0 +1,1 @@
+lib/workloads/gen.mli: Asm Insn Rng Vat_desim Vat_guest

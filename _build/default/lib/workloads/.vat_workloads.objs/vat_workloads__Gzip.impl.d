@@ -1,0 +1,1 @@
+lib/workloads/gzip.ml: Asm Buffer Char Gen String Vat_desim Vat_guest

@@ -1,0 +1,1 @@
+lib/workloads/parser.ml: Array Asm Bytes Gen Int32 Vat_desim Vat_guest

@@ -1,0 +1,1 @@
+lib/workloads/perlbmk.ml: Asm Bytes Char Gen Insn List Printf Vat_desim Vat_guest

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Asm Bzip2 Crafty Gap Gcc_w Gzip List Mcf Parser Perlbmk Program String Twolf Vat_guest Vortex Vpr

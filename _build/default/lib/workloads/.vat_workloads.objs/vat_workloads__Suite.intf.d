@@ -1,0 +1,1 @@
+lib/workloads/suite.mli: Asm Program Vat_guest

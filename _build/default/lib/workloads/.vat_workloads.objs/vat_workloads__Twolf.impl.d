@@ -1,0 +1,1 @@
+lib/workloads/twolf.ml: Asm Gen Vat_guest

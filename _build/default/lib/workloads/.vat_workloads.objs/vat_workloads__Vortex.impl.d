@@ -1,0 +1,1 @@
+lib/workloads/vortex.ml: Asm Bytes Gen Int32 List Printf Vat_desim Vat_guest

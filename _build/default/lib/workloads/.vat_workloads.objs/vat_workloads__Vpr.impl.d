@@ -1,0 +1,1 @@
+lib/workloads/vpr.ml: Array Asm Gen List Vat_desim Vat_guest

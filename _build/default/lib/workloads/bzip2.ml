@@ -1,0 +1,70 @@
+open Vat_guest
+open Asm.Dsl
+
+(* 256.bzip2: Burrows-Wheeler surrogate — byte histogram, prefix sums,
+   and a counting-sort reorder over a 64 KB buffer.
+
+   Paper-relevant characteristics: small instruction working set,
+   moderate-to-high data traffic with good spatial locality. Low
+   slowdown; benefits slightly from the bigger data cache. *)
+
+let name = "256.bzip2"
+let description = "counting sort (BWT-style) over a 64 KB buffer"
+
+let buf_bytes = 65536
+let hist_base = 0x10000  (* 256 word counters *)
+let out_base = 0x11000
+
+let passes = 2
+
+let program () =
+  let rng = Gen.seeded name in
+  let blob =
+    Gen.fill_data rng ~bytes:buf_bytes
+    ^ String.make (out_base + buf_bytes - buf_bytes) '\000'
+  in
+  let init_calls, init_bodies = Gen.init_phase rng ~funs:210 ~insns:30 in
+  Gen.prologue
+  @ init_calls
+  @ Gen.counted_loop ~label_prefix:"pass" ~iters:passes
+      ([ (* Zero the histogram. *)
+         mov (r ecx) (i 0);
+         label "zero";
+         mov (m ~base:esi ~index:(ecx, S4) ~disp:hist_base ()) (i 0);
+         inc (r ecx);
+         cmp (r ecx) (i 256);
+         jl "zero";
+         (* Histogram pass. *)
+         mov (r edi) (i 0);
+         label "hist";
+         movzxb eax (m ~base:esi ~index:(edi, S1) ());
+         inc (m ~base:esi ~index:(eax, S4) ~disp:hist_base ());
+         inc (r edi);
+         cmp (r edi) (i (buf_bytes / 2));
+         jl "hist";
+         (* Prefix sums. *)
+         mov (r ecx) (i 0);
+         mov (r edx) (i 0);
+         label "prefix";
+         mov (r eax) (m ~base:esi ~index:(ecx, S4) ~disp:hist_base ());
+         mov (m ~base:esi ~index:(ecx, S4) ~disp:hist_base ()) (r edx);
+         add (r edx) (r eax);
+         inc (r ecx);
+         cmp (r ecx) (i 256);
+         jl "prefix";
+         (* Reorder: out[rank[b]++] = b over the first 4 KB. *)
+         mov (r edi) (i 0);
+         label "reorder";
+         movzxb eax (m ~base:esi ~index:(edi, S1) ());
+         mov (r ecx) (m ~base:esi ~index:(eax, S4) ~disp:hist_base ());
+         and_ (r ecx) (i (buf_bytes - 1));
+         movb (m ~base:esi ~index:(ecx, S1) ~disp:out_base ()) (r eax);
+         inc (m ~base:esi ~index:(eax, S4) ~disp:hist_base ());
+         add (r ebx) (r eax);
+         inc (r edi);
+         cmp (r edi) (i 4096);
+         jl "reorder" ])
+  @ [ mov (r eax) (r ebx) ]
+  @ Gen.epilogue_checksum
+  @ init_bodies
+  @ Gen.data_section blob

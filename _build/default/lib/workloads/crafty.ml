@@ -1,0 +1,73 @@
+open Vat_guest
+open Asm.Dsl
+
+(* 186.crafty: chess-engine surrogate — bitboard arithmetic (shifts,
+   rotates, xors, SWAR popcounts), a large farm of evaluation functions,
+   and jump-table move dispatch.
+
+   Paper-relevant characteristics: a large instruction working set with a
+   very high L2 code-cache access rate — one of the paper's trio
+   (vpr/gcc/crafty) where adding speculative translators makes things
+   worse than the conservative translator. *)
+
+let name = "186.crafty"
+let description = "bitboard evaluation with jump-table dispatch; big code"
+
+let eval_funs = 130
+let eval_insns = 34
+let movegen_funs = 16
+let outer_iters = 7
+
+(* SWAR popcount of EAX into EAX, clobbers ECX/EDX. *)
+let popcount =
+  [ mov (r ecx) (r eax);
+    shr (r ecx) 1;
+    and_ (r ecx) (i 0x55555555);
+    sub (r eax) (r ecx);
+    mov (r ecx) (r eax);
+    and_ (r eax) (i 0x33333333);
+    shr (r ecx) 2;
+    and_ (r ecx) (i 0x33333333);
+    add (r eax) (r ecx);
+    mov (r ecx) (r eax);
+    shr (r ecx) 4;
+    add (r eax) (r ecx);
+    and_ (r eax) (i 0x0F0F0F0F);
+    imul eax (i 0x01010101);
+    shr (r eax) 24 ]
+
+let movegen rng k =
+  [ label (Printf.sprintf "movegen_%d" k);
+    mov (r eax) (m ~base:esi ~disp:(Vat_desim.Rng.int rng 2048 * 4) ()) ]
+  @ [ rol (r eax) ((k mod 13) + 1);
+      xor (r eax) (i (0x9E3779B9 land 0xFFFFFF)) ]
+  @ popcount
+  @ [ add (r ebx) (r eax); ret ]
+
+let program () =
+  let rng = Gen.seeded name in
+  let names, farm =
+    Gen.fun_farm rng ~prefix:"eval" ~count:eval_funs ~insns:eval_insns
+      ~mem_span:8192
+  in
+  let movegens =
+    List.concat (List.init movegen_funs (fun k -> movegen rng k))
+  in
+  let table =
+    Gen.jump_table ~name:"movetable"
+      (List.init movegen_funs (fun k -> Printf.sprintf "movegen_%d" k))
+  in
+  let blob = Gen.fill_data rng ~bytes:16384 in
+  Gen.prologue
+  @ Gen.counted_loop ~label_prefix:"search" ~iters:outer_iters
+      ((* Jump-table move generation: index from evolving state. *)
+       [ mov (r eax) (r ebx);
+         and_ (r eax) (i (movegen_funs - 1));
+         calli (m ~sym:"movetable" ~index:(eax, S4) ()) ]
+      @ Gen.call_all names)
+  @ [ mov (r eax) (r ebx) ]
+  @ Gen.epilogue_checksum
+  @ farm
+  @ movegens
+  @ table
+  @ Gen.data_section blob

@@ -1,0 +1,45 @@
+open Vat_guest
+open Asm.Dsl
+
+(* 254.gap: computer-algebra surrogate — multiply/divide-heavy vector
+   arithmetic across a moderate function farm.
+
+   Paper-relevant characteristics: large-ish code working set with
+   arithmetic density (wide multiplies and guarded divides exercise the
+   soft mul/div helpers); upper-middle slowdown, L1.5-sensitive. *)
+
+let name = "254.gap"
+let description = "mul/div-heavy vector arithmetic farm"
+
+let farm_funs = 85
+let farm_insns = 38
+let vec_bytes = 32768
+let outer_iters = 7
+
+(* A guarded wide-arithmetic kernel: EDX:EAX = EAX * k, then an unsigned
+   divide by a nonzero divisor derived from EBX. *)
+let wide_kernel k =
+  [ mov (r eax) (r ebx);
+    mov (r ecx) (i ((2 * k) + 3));
+    mul (r ecx);
+    xor (r edx) (r edx);
+    mov (r ecx) (r ebx);
+    and_ (r ecx) (i 0xFFF);
+    or_ (r ecx) (i 1);
+    div (r ecx);
+    add (r ebx) (r edx) ]
+
+let program () =
+  let rng = Gen.seeded name in
+  let names, farm =
+    Gen.fun_farm rng ~prefix:"alg" ~count:farm_funs ~insns:farm_insns
+      ~mem_span:8192
+  in
+  let blob = Gen.fill_data rng ~bytes:vec_bytes in
+  Gen.prologue
+  @ Gen.counted_loop ~label_prefix:"reduce" ~iters:outer_iters
+      (wide_kernel 1 @ Gen.call_all names @ wide_kernel 2)
+  @ [ mov (r eax) (r ebx) ]
+  @ Gen.epilogue_checksum
+  @ farm
+  @ Gen.data_section blob

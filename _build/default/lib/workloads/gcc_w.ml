@@ -1,0 +1,74 @@
+open Vat_desim
+open Vat_guest
+open Asm.Dsl
+
+(* 176.gcc: compiler surrogate — a very large population of small, branchy
+   functions. Each "compilation pass" visits a sliding window of the
+   population, so some functions are always fresh: like a compiler
+   chewing through new source, the instruction working set both exceeds
+   every on-chip code cache *and* keeps producing translation misses for
+   the whole run.
+
+   Paper-relevant characteristics: the largest code working set and the
+   highest L2 code-cache access rate in the suite; the worst slowdown,
+   and (with vpr and crafty) slower with speculative translators than
+   with the conservative one, due to congestion at the manager tile. *)
+
+let name = "176.gcc"
+let description = "sliding window over 760 branchy functions; huge code"
+
+let n_funs = 760
+let fun_insns = 33
+let passes = 8
+let window = 300
+let fresh_per_pass = 64
+
+(* A branchy function: arithmetic chunks separated by forward conditional
+   skips (compilers branch constantly). *)
+let branchy_fun rng ~fname =
+  let cold = fname ^ "_cold" in
+  let chunk k =
+    Gen.arith_body rng ~insns:(fun_insns / 3) ~mem_span:4096
+    @ (if k = 0 then [ test (r esi) (r esi); je cold ] else [])
+    @ [ cmp (r (Rng.pick rng [| Insn.EAX; ECX; EDX |])) (i (Rng.int rng 512));
+        jcc
+          (Rng.pick rng [| Insn.L; GE; NE; E |])
+          (Printf.sprintf "%s_s%d" fname k);
+        add (r ebx) (i (Rng.int rng 64));
+        label (Printf.sprintf "%s_s%d" fname k) ]
+  in
+  [ label fname ] @ chunk 0 @ chunk 1 @ chunk 2
+  @ [ ret; label cold ]
+  @ Gen.arith_body rng ~insns:10 ~mem_span:4096
+  @ [ jmp (cold ^ "2"); label (cold ^ "2") ]
+  @ Gen.arith_body rng ~insns:10 ~mem_span:4096
+  @ [ ret ]
+
+let program () =
+  let rng = Gen.seeded name in
+  let names = Array.init n_funs (fun i -> Printf.sprintf "pass_%d" i) in
+  let funs =
+    List.concat_map
+      (fun fname -> branchy_fun rng ~fname)
+      (Array.to_list names)
+  in
+  let blob = Gen.fill_data rng ~bytes:16384 in
+  (* Unrolled passes: pass p calls a window of functions starting at
+     p * fresh_per_pass, so each pass touches fresh_per_pass new ones. *)
+  let pass p =
+    let order =
+      Array.init window (fun k -> ((p * fresh_per_pass) + k) mod n_funs)
+    in
+    (* Real compilation visits functions irregularly; a shuffled order
+       lets the L1.5 capture part of the window instead of being defeated
+       by a perfectly cyclic sweep. *)
+    Vat_desim.Rng.shuffle rng order;
+    Array.to_list (Array.map (fun j -> call names.(j)) order)
+  in
+  let body = List.concat (List.init passes pass) in
+  Gen.prologue
+  @ body
+  @ [ mov (r eax) (r ebx) ]
+  @ Gen.epilogue_checksum
+  @ funs
+  @ Gen.data_section blob

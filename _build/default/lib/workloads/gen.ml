@@ -1,0 +1,142 @@
+open Vat_desim
+open Vat_guest
+open Asm.Dsl
+
+let seeded name =
+  let h = ref 0x243F6A88 in
+  String.iter (fun c -> h := ((!h * 33) + Char.code c) land 0x3FFFFFFF) name;
+  Rng.create ~seed:!h
+
+let fill_data rng ~bytes =
+  String.init bytes (fun i -> Char.chr ((Rng.int rng 256 + (i * 7)) land 0xFF))
+
+(* Registers arithmetic bodies may clobber. ESI anchors data, EBP counts
+   loops, ESP is the stack. *)
+let work_regs = [| Insn.EAX; ECX; EDX; EBX; EDI |]
+
+let arith_body ?(regs = work_regs) rng ~insns ~mem_span =
+  let pick () = Rng.pick rng regs in
+  let item _ =
+    let mem_op () =
+      m ~base:esi ~disp:(Rng.int rng (max 64 mem_span - 60)) ()
+    in
+    match Rng.int rng (if mem_span > 0 then 12 else 8) with
+    | 0 -> [ add (r (pick ())) (r (pick ())) ]
+    | 1 -> [ xor (r (pick ())) (i (Rng.int rng 0xFFFF)) ]
+    | 2 -> [ Asm.Ins (Insn.Shift ((if Rng.bool rng then Shl else Shr),
+                                  Reg (pick ()), Sh_imm (1 + Rng.int rng 7))) ]
+    | 3 -> [ imul (pick ()) (i (1 + Rng.int rng 13)) ]
+    | 4 -> [ sub (r (pick ())) (i (Rng.int rng 4096)) ]
+    | 5 -> [ or_ (r (pick ())) (r (pick ())) ]
+    | 6 -> [ lea (pick ()) (m ~base:esi ~disp:(Rng.int rng 4096) ()) ]
+    | 7 ->
+      let a = pick () in
+      [ cmp (r a) (i (Rng.int rng 1000));
+        setcc (Rng.pick rng [| Insn.L; GE; E; NE |]) (r a) ]
+    | 8 | 9 -> [ add (r (pick ())) (mem_op ()) ]
+    | 10 -> [ mov (mem_op ()) (r (pick ())) ]
+    | _ -> [ movzxb (pick ()) (mem_op ()) ]
+  in
+  List.concat (List.init insns item)
+
+(* Real compiled code branches every 5-8 instructions; splitting function
+   bodies with forward skips gives translated blocks realistic sizes and
+   block-transition rates.
+
+   Each function also carries a cold region (think error handling) guarded
+   by a branch that never fires at run time: ESI holds the nonzero data
+   base, so [test esi, esi; je cold] is never taken. Speculative
+   translation cannot know that and translates the cold blocks anyway —
+   the wasted-work component behind the paper's Figure 5 anomaly. *)
+let arith_fun rng ~name ~insns ~mem_span =
+  let chunk_size = 7 in
+  let n_chunks = max 1 (insns / chunk_size) in
+  let cold = name ^ "_cold" in
+  let chunk k =
+    let skip = Printf.sprintf "%s_k%d" name k in
+    arith_body rng ~insns:chunk_size ~mem_span
+    @ (if k = 0 then [ test (r esi) (r esi); je cold ] else [])
+    @ [ cmp (r (Rng.pick rng work_regs)) (i (Rng.int rng 1024));
+        Asm.Ins
+          (Insn.Jcc
+             (Rng.pick rng [| Insn.L; GE; E; NE; B; AE |], Asm.Sym skip));
+        add (r (Rng.pick rng work_regs)) (i (Rng.int rng 32));
+        label skip ]
+  in
+  (label name :: List.concat (List.init n_chunks chunk))
+  @ [ ret ]
+  (* Cold region: a chain of blocks speculation will chase. *)
+  @ [ label cold ]
+  @ arith_body rng ~insns:chunk_size ~mem_span
+  @ [ jmp (cold ^ "2"); label (cold ^ "2") ]
+  @ arith_body rng ~insns:chunk_size ~mem_span
+  @ [ jmp (cold ^ "3"); label (cold ^ "3") ]
+  @ arith_body rng ~insns:chunk_size ~mem_span
+  @ [ ret ]
+
+let fun_farm rng ~prefix ~count ~insns ~mem_span =
+  let names = List.init count (fun i -> Printf.sprintf "%s_%d" prefix i) in
+  let items =
+    List.concat_map (fun name -> arith_fun rng ~name ~insns ~mem_span) names
+  in
+  (names, items)
+
+let call_all names = List.map call names
+
+let jump_table ~name names =
+  (Asm.Align 4 :: label name :: List.map (fun f -> Asm.Word (Asm.Sym f)) names)
+
+let counted_loop ~label_prefix ~iters body =
+  let head = label_prefix ^ "_head" in
+  [ mov (r ebp) (i iters); label head ]
+  @ body
+  @ [ dec (r ebp); jne head ]
+
+let prologue =
+  [ label "start";
+    mov (r esi) (isym "data");
+    xor (r eax) (r eax);
+    xor (r ebx) (r ebx);
+    xor (r ecx) (r ecx);
+    xor (r edx) (r edx);
+    xor (r edi) (r edi) ]
+
+(* Init functions form a call tree three levels deep (each function calls
+   two children), so speculative discovery fans out much faster than a
+   small slave pool consumes it: the translate queues build up — the
+   signal the reconfiguration manager watches — and extra translator
+   tiles genuinely shorten the start-up phase. *)
+let init_phase rng ~funs ~insns =
+  let tops = max 1 (funs / 7) in
+  let top_names = List.init tops (fun i -> Printf.sprintf "init_%d" i) in
+  let rec node name depth =
+    if depth = 0 then arith_fun rng ~name ~insns ~mem_span:4096
+    else begin
+      let left = name ^ "l" and right = name ^ "r" in
+      [ label name ]
+      @ arith_body rng ~insns:(insns / 3) ~mem_span:4096
+      @ [ call left ]
+      @ arith_body rng ~insns:(insns / 3) ~mem_span:4096
+      @ [ call right ]
+      @ arith_body rng ~insns:(insns / 3) ~mem_span:4096
+      @ [ ret ]
+      @ node left (depth - 1)
+      @ node right (depth - 1)
+    end
+  in
+  let bodies =
+    List.concat
+      (List.init tops (fun ti -> node (Printf.sprintf "init_%d" ti) 2))
+  in
+  (call_all top_names, bodies)
+
+let epilogue_checksum =
+  [ add (r eax) (r ebx);
+    add (r eax) (r ecx);
+    add (r eax) (r edx);
+    mov (r ebx) (r eax);
+    and_ (r ebx) (i 0x7F);
+    mov (r eax) (i Syscall.sys_exit);
+    int_ Syscall.vector ]
+
+let data_section blob = [ Asm.Align 4096; label "data"; Asm.Ascii blob ]

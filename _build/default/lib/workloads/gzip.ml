@@ -1,0 +1,76 @@
+open Vat_guest
+open Asm.Dsl
+
+(* 164.gzip: LZ77-style hash-chain compression of a pseudo-random but
+   compressible buffer.
+
+   Paper-relevant characteristics: a small, tight instruction working set
+   (the hot loop fits the L1 code cache and chains fully), moderate data
+   traffic. gzip sits at the low end of the slowdown spectrum and is
+   insensitive to L1.5 capacity. *)
+
+let name = "164.gzip"
+let description = "LZ77 hash-chain compression kernel; small hot loop"
+
+let input_bytes = 4096
+let limit = 9000 (* positions compressed *)
+
+(* Data layout: [0, 4K) input; [0x2000, 0x4000) hash table (4K entries of
+   4 bytes would be 16K; use 2K entries over 8K); [0x6000, ...) match
+   length accumulator area. *)
+let hash_base = 0x2000
+let out_base = 0x6000
+
+let program () =
+  let rng = Gen.seeded name in
+  (* Compressible input: long runs with occasional noise. *)
+  let blob =
+    let b = Buffer.create (input_bytes + out_base) in
+    while Buffer.length b < input_bytes do
+      let byte = Vat_desim.Rng.int rng 256 in
+      let run = 1 + Vat_desim.Rng.int rng 12 in
+      for _ = 1 to run do
+        if Buffer.length b < input_bytes then
+          Buffer.add_char b (Char.chr byte)
+      done
+    done;
+    Buffer.add_string b (String.make (out_base + 1024 - input_bytes) '\000');
+    Buffer.contents b
+  in
+  let init_calls, init_bodies = Gen.init_phase rng ~funs:210 ~insns:30 in
+  Gen.prologue
+  @ init_calls
+  @ [ mov (r edi) (i 0);                       (* position *)
+      mov (r ebx) (i 0);                       (* checksum *)
+      label "main_loop";
+      (* Load 4 bytes at the cursor and hash them. *)
+      mov (r eax) (m ~base:esi ~index:(edi, S1) ());
+      imul eax (i 0x9E3B);
+      shr (r eax) 20;                          (* 12-bit hash *)
+      and_ (r eax) (i 0x7FC);                  (* 2K entries, word aligned *)
+      (* Chain head: previous position with this hash. *)
+      mov (r ecx) (m ~base:esi ~index:(eax, S1) ~disp:hash_base ());
+      mov (m ~base:esi ~index:(eax, S1) ~disp:hash_base ()) (r edi);
+      (* Compare up to 4 bytes at the previous position. *)
+      movzxb edx (m ~base:esi ~index:(ecx, S1) ());
+      movzxb eax (m ~base:esi ~index:(edi, S1) ());
+      cmp (r eax) (r edx);
+      jne "no_match";
+      inc (r ebx);
+      movzxb edx (m ~base:esi ~index:(ecx, S1) ~disp:1 ());
+      movzxb eax (m ~base:esi ~index:(edi, S1) ~disp:1 ());
+      cmp (r eax) (r edx);
+      jne "no_match";
+      add (r ebx) (i 3);
+      label "no_match";
+      (* Emit a literal token (byte store) every position. *)
+      mov (r edx) (r edi);
+      and_ (r edx) (i 0xFFF);
+      movb (m ~base:esi ~index:(edx, S1) ~disp:out_base ()) (r ebx);
+      inc (r edi);
+      cmp (r edi) (i limit);
+      jl "main_loop";
+      mov (r eax) (r ebx) ]
+  @ Gen.epilogue_checksum
+  @ init_bodies
+  @ Gen.data_section blob

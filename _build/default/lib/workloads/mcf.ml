@@ -1,0 +1,59 @@
+open Vat_guest
+open Asm.Dsl
+
+(* 181.mcf: network-simplex surrogate — pointer chasing through a 112 KB
+   arc array in a cache-defeating permutation order.
+
+   Paper-relevant characteristics: tiny instruction working set, heavy
+   data-cache pressure sized to fit the four-bank L2 data cache but
+   thrash a single bank. mcf is the benchmark that rewards trading
+   translator tiles for L2 data-cache banks, and it sits at the low end
+   of the slowdown spectrum because its code chains perfectly. *)
+
+let name = "181.mcf"
+let description = "pointer chase over a 112 KB arc array; memory bound"
+
+let nodes = 7168 (* 16 bytes each -> 112 KB *)
+let node_bytes = 16
+let nodes_base = 8192 (* above the init-phase scratch region *)
+let steps = 40000
+
+let program () =
+  let rng = Gen.seeded name in
+  (* A single random cycle over all nodes (Sattolo's algorithm) so the
+     chase never short-circuits. *)
+  let perm = Array.init nodes (fun i -> i) in
+  for i = nodes - 1 downto 1 do
+    let j = Vat_desim.Rng.int rng i in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  let next = Array.make nodes 0 in
+  for i = 0 to nodes - 1 do
+    next.(perm.(i)) <- perm.((i + 1) mod nodes)
+  done;
+  let blob = Bytes.make (nodes_base + (nodes * node_bytes)) '\000' in
+  for i = 0 to nodes - 1 do
+    Bytes.set_int32_le blob
+      (nodes_base + (i * node_bytes))
+      (Int32.of_int (nodes_base + (next.(i) * node_bytes)));
+    Bytes.set_int32_le blob
+      (nodes_base + (i * node_bytes) + 4)
+      (Int32.of_int (i land 0xFF))
+  done;
+  let init_calls, init_bodies = Gen.init_phase rng ~funs:210 ~insns:30 in
+  Gen.prologue
+  @ init_calls
+  @ [ mov (r edi) (i nodes_base);               (* current node offset *)
+      mov (r ecx) (i steps);
+      label "chase";
+      mov (r edx) (m ~base:esi ~index:(edi, S1) ~disp:4 ()); (* weight *)
+      add (r ebx) (r edx);
+      mov (r edi) (m ~base:esi ~index:(edi, S1) ());          (* next *)
+      dec (r ecx);
+      jne "chase";
+      mov (r eax) (r ebx) ]
+  @ Gen.epilogue_checksum
+  @ init_bodies
+  @ Gen.data_section (Bytes.to_string blob)

@@ -1,0 +1,71 @@
+open Vat_guest
+open Asm.Dsl
+
+(* 197.parser: dictionary-lookup surrogate — hash a stream of 4-byte
+   "words" and walk collision chains in a 64 KB bucket table.
+
+   Paper-relevant characteristics: small-to-medium code, pointer-ish data
+   traffic with some locality. Middle of the slowdown range; one of the
+   benchmarks where dynamic reconfiguration beats both statics. *)
+
+let name = "197.parser"
+let description = "hash dictionary lookup with collision chains"
+
+let buckets = 2048
+let dict_base = 0x2000   (* bucket heads: 2048 words = 8 KB *)
+let nodes_base = 0x4000  (* chain nodes: [next, key, value, pad] *)
+let n_nodes = 4096
+let stream_len = 10000
+
+let program () =
+  let rng = Gen.seeded name in
+  (* Build the dictionary in the data blob: nodes linked into buckets. *)
+  let total = nodes_base + (n_nodes * 16) in
+  let blob = Bytes.make total '\000' in
+  let heads = Array.make buckets 0 in
+  for node = 0 to n_nodes - 1 do
+    let key = Vat_desim.Rng.int rng 0x40000 in
+    let b = key land (buckets - 1) in
+    let off = nodes_base + (node * 16) in
+    Bytes.set_int32_le blob off (Int32.of_int heads.(b));
+    Bytes.set_int32_le blob (off + 4) (Int32.of_int key);
+    Bytes.set_int32_le blob (off + 8) (Int32.of_int (key * 7));
+    heads.(b) <- off;
+    Bytes.set_int32_le blob (dict_base + (b * 4)) (Int32.of_int off)
+  done;
+  (* Input word stream in [0, 0x1800). *)
+  for i = 0 to stream_len - 1 do
+    let w = Vat_desim.Rng.int rng 0x40000 in
+    Bytes.set_int32_le blob ((i * 4) land 0x17FC) (Int32.of_int w)
+  done;
+  let init_calls, init_bodies = Gen.init_phase rng ~funs:210 ~insns:30 in
+  Gen.prologue
+  @ init_calls
+  @ [ mov (r edi) (i 0);
+      label "next_word";
+      (* Fetch a word from the (wrapping) stream. *)
+      mov (r eax) (r edi);
+      and_ (r eax) (i 0x17FC);
+      mov (r eax) (m ~base:esi ~index:(eax, S1) ());
+      (* Bucket index. *)
+      mov (r ecx) (r eax);
+      and_ (r ecx) (i (buckets - 1));
+      mov (r edx) (m ~base:esi ~index:(ecx, S4) ~disp:dict_base ());
+      (* Walk the chain comparing keys (bounded by construction). *)
+      label "walk";
+      test (r edx) (r edx);
+      je "missed";
+      cmp (r eax) (m ~base:esi ~index:(edx, S1) ~disp:4 ());
+      je "found";
+      mov (r edx) (m ~base:esi ~index:(edx, S1) ());
+      jmp "walk";
+      label "found";
+      add (r ebx) (m ~base:esi ~index:(edx, S1) ~disp:8 ());
+      label "missed";
+      add (r edi) (i 4);
+      cmp (r edi) (i (stream_len * 4));
+      jl "next_word";
+      mov (r eax) (r ebx) ]
+  @ Gen.epilogue_checksum
+  @ init_bodies
+  @ Gen.data_section (Bytes.to_string blob)

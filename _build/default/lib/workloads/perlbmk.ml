@@ -1,0 +1,59 @@
+open Vat_guest
+open Asm.Dsl
+
+(* 253.perlbmk: bytecode-interpreter surrogate — a dispatch loop over a
+   synthetic opcode stream, jumping through a 32-entry handler table.
+
+   Paper-relevant characteristics: a register-indirect jump per executed
+   opcode. Indirect branches can neither be chained nor speculated past,
+   so every opcode pays the full dispatch path — perlbmk has a large code
+   appetite and lands in the upper-middle of the slowdown range. *)
+
+let name = "253.perlbmk"
+let description = "bytecode interpreter with indirect dispatch"
+
+let n_handlers = 48
+let n_ops = 2600
+let ops_base = 0x1000 (* opcode stream inside the data blob *)
+
+(* Handlers must preserve EDI: it is the interpreter's bytecode cursor. *)
+let handler_regs = [| Insn.EAX; ECX; EDX; EBX |]
+
+let handler_body rng k =
+  let ops =
+    Gen.arith_body ~regs:handler_regs rng ~insns:(10 + (k mod 11))
+      ~mem_span:2048
+  in
+  [ label (Printf.sprintf "op_%d" k) ] @ ops @ [ jmp "dispatch" ]
+
+let program () =
+  let rng = Gen.seeded name in
+  let blob =
+    let b = Bytes.make (ops_base + n_ops) '\000' in
+    Bytes.blit_string (Gen.fill_data rng ~bytes:ops_base) 0 b 0 ops_base;
+    for i = 0 to n_ops - 1 do
+      Bytes.set b (ops_base + i)
+        (Char.chr (Vat_desim.Rng.int rng n_handlers))
+    done;
+    Bytes.to_string b
+  in
+  let handlers =
+    List.concat (List.init n_handlers (fun k -> handler_body rng k))
+  in
+  let table =
+    Gen.jump_table ~name:"optable"
+      (List.init n_handlers (fun k -> Printf.sprintf "op_%d" k))
+  in
+  Gen.prologue
+  @ [ mov (r edi) (i 0);
+      label "dispatch";
+      cmp (r edi) (i n_ops);
+      jge "done";
+      movzxb eax (m ~base:esi ~index:(edi, S1) ~disp:ops_base ());
+      inc (r edi);
+      jmpi (m ~sym:"optable" ~index:(eax, S4) ()) ]
+  @ handlers
+  @ [ label "done"; mov (r eax) (r ebx) ]
+  @ Gen.epilogue_checksum
+  @ table
+  @ Gen.data_section blob

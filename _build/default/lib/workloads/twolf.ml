@@ -1,0 +1,46 @@
+open Vat_guest
+open Asm.Dsl
+
+(* 300.twolf: standard-cell place/route surrogate — annealing over a
+   128 KB netlist region with a medium evaluation farm.
+
+   Paper-relevant characteristics: a large code working set like vpr but
+   with heavier data traffic; high slowdown, helped by both the L1.5
+   code cache and the larger L2 data cache. *)
+
+let name = "300.twolf"
+let description = "annealing with medium farm and heavy data traffic"
+
+let farm_funs = 100
+let farm_insns = 32
+let net_bytes = 131072
+let outer_iters = 7
+
+let program () =
+  let rng = Gen.seeded name in
+  let names, farm =
+    Gen.fun_farm rng ~prefix:"net" ~count:farm_funs ~insns:farm_insns
+      ~mem_span:16384
+  in
+  let blob = Gen.fill_data rng ~bytes:net_bytes in
+  Gen.prologue
+  @ Gen.counted_loop ~label_prefix:"place" ~iters:outer_iters
+      ((* Scatter writes across the netlist: move four cells. *)
+       [ imul ebx (i 69069);
+         add (r ebx) (i 1234567);
+         mov (r ecx) (r ebx);
+         shr (r ecx) 7;
+         and_ (r ecx) (i (net_bytes - 8));
+         mov (r eax) (m ~base:esi ~index:(ecx, S1) ());
+         add (r eax) (i 3);
+         mov (m ~base:esi ~index:(ecx, S1) ~disp:4 ()) (r eax);
+         mov (r edx) (r ebx);
+         shr (r edx) 17;
+         and_ (r edx) (i (net_bytes - 8));
+         mov (r eax) (m ~base:esi ~index:(edx, S1) ());
+         mov (m ~base:esi ~index:(edx, S1) ~disp:4 ()) (r eax) ]
+      @ Gen.call_all names)
+  @ [ mov (r eax) (r ebx) ]
+  @ Gen.epilogue_checksum
+  @ farm
+  @ Gen.data_section blob

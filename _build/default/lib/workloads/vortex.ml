@@ -1,0 +1,84 @@
+open Vat_guest
+open Asm.Dsl
+
+(* 255.vortex: object-database surrogate — records carrying method
+   indices, visited in a strided pattern that mixes indirect method calls
+   with field reads and writes, plus indirect "admin" calls into a second
+   function table.
+
+   Paper-relevant characteristics: large code (two dispatch tables of
+   real bodies), heavy data traffic to a 256 KB object heap, and indirect
+   calls that stop speculation. Vortex is one of the paper's worst
+   slowdowns. *)
+
+let name = "255.vortex"
+let description = "object heap with indirect method dispatch; big code+data"
+
+let methods = 16 (* power of two: indices are masked after field writes *)
+let method_insns = 28
+let admin_funs = 80
+let admin_insns = 32
+let heap_bytes = 262144
+let visits = 900
+
+let program () =
+  let rng = Gen.seeded name in
+  let blob = Bytes.make heap_bytes '\000' in
+  for o = 0 to (heap_bytes / 64) - 1 do
+    let off = o * 64 in
+    Bytes.set_int32_le blob off (Int32.of_int (Vat_desim.Rng.int rng methods));
+    Bytes.set_int32_le blob (off + 4)
+      (Int32.of_int (Vat_desim.Rng.int rng 100000))
+  done;
+  let method_names = List.init methods (fun k -> Printf.sprintf "method_%d" k) in
+  let method_bodies =
+    List.concat_map
+      (fun mname ->
+        [ label mname;
+          (* EDI holds the object offset; mutate a couple of fields. *)
+          mov (r eax) (m ~base:esi ~index:(edi, S1) ~disp:4 ());
+          add (r eax) (i 17);
+          mov (m ~base:esi ~index:(edi, S1) ~disp:8 ()) (r eax);
+          add (r ebx) (r eax) ]
+        @ Gen.arith_body rng ~insns:method_insns ~mem_span:8192
+        @ [ ret ])
+      method_names
+  in
+  let admin_names, admin_farm =
+    Gen.fun_farm rng ~prefix:"admin" ~count:admin_funs ~insns:admin_insns
+      ~mem_span:16384
+  in
+  let vtable = Gen.jump_table ~name:"vtable" method_names in
+  let atable = Gen.jump_table ~name:"atable" admin_names in
+  Gen.prologue
+  @ [ mov (r edi) (i 0);
+      mov (r ecx) (i visits);
+      label "visit";
+      push (r ecx);
+      (* Stride through objects with a large prime to defeat locality. *)
+      mov (r eax) (r edi);
+      imul eax (i 40503);
+      and_ (r eax) (i (heap_bytes - 64));
+      and_ (r eax) (i (lnot 63 land 0xFFFFFFFF));
+      mov (r edi) (r eax);
+      (* Method index may have been overwritten by field traffic: mask. *)
+      mov (r eax) (m ~base:esi ~index:(edi, S1) ());
+      and_ (r eax) (i (methods - 1));
+      calli (m ~sym:"vtable" ~index:(eax, S4) ());
+      pop (r ecx);
+      (* Rotate through the admin-function table: a second indirect call. *)
+      mov (r eax) (r ecx);
+      and_ (r eax) (i (admin_funs - 1));
+      push (r ecx);
+      calli (m ~sym:"atable" ~index:(eax, S4) ());
+      pop (r ecx);
+      inc (r edi);
+      dec (r ecx);
+      jne "visit";
+      mov (r eax) (r ebx) ]
+  @ Gen.epilogue_checksum
+  @ method_bodies
+  @ admin_farm
+  @ vtable
+  @ atable
+  @ Gen.data_section (Bytes.to_string blob)

@@ -1,0 +1,53 @@
+open Vat_guest
+open Asm.Dsl
+
+(* 175.vpr: FPGA place-and-route surrogate — simulated-annealing swap
+   moves over a cell grid, with a sizable unrolled cost evaluator.
+
+   Paper-relevant characteristics: a large instruction working set (the
+   evaluator farm exceeds the L1 code cache) with real data traffic to
+   the placement grid — vpr joins gcc and crafty in the high-L2-code-
+   traffic trio. *)
+
+let name = "175.vpr"
+let description = "annealing placement; large unrolled cost evaluator"
+
+let cost_funs = 150
+let cost_insns = 34
+let grid_bytes = 65536
+let outer_iters = 7
+
+let program () =
+  let rng = Gen.seeded name in
+  let names, farm =
+    Gen.fun_farm rng ~prefix:"cost" ~count:cost_funs ~insns:cost_insns
+      ~mem_span:8192
+  in
+  let blob = Gen.fill_data rng ~bytes:grid_bytes in
+  (* Each annealing pass visits the evaluators in a different (shuffled)
+     order: real access patterns are irregular, which is what lets the
+     L1.5 code cache capture a useful fraction of a working set larger
+     than itself. *)
+  let shuffled_pass () =
+    let arr = Array.of_list names in
+    Vat_desim.Rng.shuffle rng arr;
+    [ imul ebx (i 1103515245);
+      add (r ebx) (i 12345);
+      mov (r ecx) (r ebx);
+      shr (r ecx) 8;
+      and_ (r ecx) (i (grid_bytes - 4));
+      mov (r edx) (r ebx);
+      shr (r edx) 16;
+      and_ (r edx) (i (grid_bytes - 4));
+      mov (r eax) (m ~base:esi ~index:(ecx, S1) ());
+      mov (r edi) (m ~base:esi ~index:(edx, S1) ());
+      mov (m ~base:esi ~index:(ecx, S1) ()) (r edi);
+      mov (m ~base:esi ~index:(edx, S1) ()) (r eax) ]
+    @ Gen.call_all (Array.to_list arr)
+  in
+  Gen.prologue
+  @ List.concat (List.init outer_iters (fun _ -> shuffled_pass ()))
+  @ [ mov (r eax) (r ebx) ]
+  @ Gen.epilogue_checksum
+  @ farm
+  @ Gen.data_section blob

@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Analysis Array Block Code_cache Config Hinsn List Spec Stats Vat_core Vat_desim Vat_host

@@ -1,0 +1,1 @@
+test/test_desim.ml: Alcotest Array Event_queue Gen List QCheck QCheck_alcotest Rng Stats Vat_desim

@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Decode Encode Insn List QCheck QCheck_alcotest String Vat_guest

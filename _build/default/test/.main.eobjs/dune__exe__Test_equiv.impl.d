@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Array Asm Config Insn Interp List Printf Program Randprog Rng String Syscall Vat_core Vat_desim Vat_guest Xrun

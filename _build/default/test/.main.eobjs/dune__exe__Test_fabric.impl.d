@@ -1,0 +1,1 @@
+test/test_fabric.ml: Alcotest Config Exec Fabric Suite Vat_core Vat_workloads Vm

@@ -1,0 +1,1 @@
+test/test_flags.ml: Alcotest Flags Insn List Printf QCheck QCheck_alcotest Vat_guest

@@ -1,0 +1,1 @@
+test/test_guest_units.ml: Alcotest Asm Char Interp List Mem Program QCheck QCheck_alcotest String Syscall Vat_guest

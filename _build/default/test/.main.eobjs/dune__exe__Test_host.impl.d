@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Array Hencode Hexec Hinsn List QCheck QCheck_alcotest Vat_host

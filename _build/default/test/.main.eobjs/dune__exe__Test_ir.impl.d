@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Hexec Hinsn Lblock List Opt Printf QCheck QCheck_alcotest Regalloc Sched String Vat_host Vat_ir

@@ -1,0 +1,1 @@
+test/test_memsys.ml: Alcotest Array Config Event_queue Grid Layout Memsys Stats Vat_core Vat_desim Vat_tiled

@@ -1,0 +1,1 @@
+test/test_morph.ml: Alcotest Asm Config Event_queue Exec Grid Layout Manager Mem Memsys Morph Program Stats Syscall Vat_core Vat_desim Vat_guest Vat_tiled Vm

@@ -1,0 +1,1 @@
+test/test_text_asm.ml: Alcotest Asm Filename Format Image Interp List Program QCheck QCheck_alcotest String Sys Test Test_encode Text_asm Vat_guest

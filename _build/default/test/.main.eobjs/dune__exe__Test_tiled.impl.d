@@ -1,0 +1,1 @@
+test/test_tiled.ml: Alcotest Cache Event_queue Grid List QCheck QCheck_alcotest Service Vat_desim Vat_tiled

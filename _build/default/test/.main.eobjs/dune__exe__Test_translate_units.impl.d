@@ -1,0 +1,1 @@
+test/test_translate_units.ml: Alcotest Array Asm Block Config Mem Program Randprog Translate Vat_core Vat_desim Vat_guest Vat_host

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Asm Config Exec Interp List Piii Printf Program Randprog Rng Stats Syscall Vat_core Vat_desim Vat_guest Vat_refmodel Vm

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Config Exec Hashtbl Interp List Metrics Suite Vat_core Vat_guest Vat_workloads Vm Xrun

@@ -1,0 +1,112 @@
+(* Unit and property tests for the discrete-event kernel. *)
+
+open Vat_desim
+
+let test_ordering () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  Event_queue.schedule q ~at:5 (fun () -> log := 5 :: !log);
+  Event_queue.schedule q ~at:1 (fun () -> log := 1 :: !log);
+  Event_queue.schedule q ~at:3 (fun () -> log := 3 :: !log);
+  Event_queue.run q;
+  Alcotest.(check (list int)) "time order" [ 1; 3; 5 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 5 (Event_queue.now q)
+
+let test_same_cycle_fifo () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Event_queue.schedule q ~at:7 (fun () -> log := i :: !log)
+  done;
+  Event_queue.run q;
+  Alcotest.(check (list int))
+    "insertion order within a cycle"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_schedule_during_run () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  Event_queue.schedule q ~at:1 (fun () ->
+      log := `A :: !log;
+      Event_queue.after q ~delay:2 (fun () -> log := `B :: !log));
+  Event_queue.run q;
+  Alcotest.(check int) "final time" 3 (Event_queue.now q);
+  Alcotest.(check bool) "chained event ran" true (List.mem `B !log)
+
+let test_past_scheduling_rejected () =
+  let q = Event_queue.create () in
+  Event_queue.schedule q ~at:10 ignore;
+  ignore (Event_queue.step q);
+  Alcotest.check_raises "past is rejected"
+    (Invalid_argument "Event_queue.schedule: at=5 is before now=10")
+    (fun () -> Event_queue.schedule q ~at:5 ignore)
+
+let test_run_until () =
+  let q = Event_queue.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Event_queue.schedule q ~at:(i * 10) (fun () -> incr count)
+  done;
+  Event_queue.run_until q ~limit:55;
+  Alcotest.(check int) "events up to limit" 5 !count;
+  Alcotest.(check int) "pending remainder" 5 (Event_queue.pending q)
+
+let test_heap_growth () =
+  let q = Event_queue.create () in
+  let count = ref 0 in
+  for i = 1 to 10_000 do
+    Event_queue.schedule q ~at:(10_000 - (i mod 100)) (fun () -> incr count)
+  done;
+  Event_queue.run q;
+  Alcotest.(check int) "all fired" 10_000 !count
+
+let test_stats () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.add s "a" 4;
+  Stats.set_max s "m" 7;
+  Stats.set_max s "m" 3;
+  Alcotest.(check int) "add" 5 (Stats.get s "a");
+  Alcotest.(check int) "max keeps maximum" 7 (Stats.get s "m");
+  Alcotest.(check int) "missing reads zero" 0 (Stats.get s "nope");
+  Alcotest.(check (float 1e-9)) "ratio of missing denominator" 0.0
+    (Stats.ratio s "a" "ten");
+  Stats.add s "ten" 10;
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (Stats.ratio s "a" "ten")
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"rng: int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_deterministic =
+  QCheck.Test.make ~name:"rng: same seed, same stream" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let a = Rng.create ~seed and b = Rng.create ~seed in
+      List.init 20 (fun _ -> Rng.next a) = List.init 20 (fun _ -> Rng.next b))
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"rng: shuffle permutes" ~count:200
+    QCheck.(pair small_int (list_of_size (Gen.int_range 0 50) int))
+    (fun (seed, xs) ->
+      let rng = Rng.create ~seed in
+      let arr = Array.of_list xs in
+      Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let suite =
+  let quick name f = Alcotest.test_case name `Quick f in
+  [ quick "event ordering" test_ordering;
+    quick "same-cycle FIFO" test_same_cycle_fifo;
+    quick "scheduling during run" test_schedule_during_run;
+    quick "past scheduling rejected" test_past_scheduling_rejected;
+    quick "run_until" test_run_until;
+    quick "heap growth" test_heap_growth;
+    quick "stats counters" test_stats ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_rng_bounds; prop_rng_deterministic; prop_shuffle_permutation ]

@@ -1,0 +1,97 @@
+(* The morphing controller in isolation: drive a manager's translate queue
+   and check the controller trades tiles in both directions with
+   hysteresis. *)
+
+open Vat_desim
+open Vat_guest
+open Vat_core
+open Vat_tiled
+
+let tiny_program () =
+  let open Asm.Dsl in
+  Program.of_asm
+    [ label "start"; mov (r ebx) (i 0); mov (r eax) (i Syscall.sys_exit);
+      int_ Syscall.vector ]
+
+let setup ~threshold ~dwell =
+  let q = Event_queue.create () in
+  let stats = Stats.create () in
+  let layout = Layout.create (Grid.create ()) in
+  let prog = tiny_program () in
+  let cfg =
+    { (Config.mem_heavy Config.default) with
+      morph = Config.Morph { threshold; dwell } }
+  in
+  let manager =
+    Manager.create q stats cfg layout
+      ~fetch:(Mem.read_u8 prog.Program.mem)
+      ~page_gen:(fun ~page -> Mem.page_generation prog.Program.mem ~page)
+  in
+  let memsys =
+    Memsys.create q stats cfg layout ~page_table:prog.Program.page_table
+  in
+  let morph = Morph.create q stats cfg manager memsys in
+  (q, manager, memsys, morph, prog)
+
+let test_morphs_up_then_down () =
+  let q, manager, memsys, morph, prog = setup ~threshold:3 ~dwell:200 in
+  (* Flood the queue: seed many distinct block addresses. The program's
+     code is tiny, so each seed becomes a (fault) block — still a
+     translation unit of work. *)
+  for k = 0 to 60 do
+    Manager.seed manager (prog.Program.entry + (k * 4))
+  done;
+  Alcotest.(check int) "starts memory-heavy" 6 (Manager.active_slaves manager);
+  (* Run to quiescence: the controller must have traded up to 9
+     translators while the queue was long, then traded back once it
+     drained — exactly one round trip, ending memory-heavy. *)
+  Event_queue.run_until q ~limit:200_000;
+  Alcotest.(check int) "queue drained" 0 (Manager.queue_length manager);
+  Alcotest.(check int) "ends with 6 translators" 6
+    (Manager.active_slaves manager);
+  Alcotest.(check int) "four banks again" 4 (Memsys.active_banks memsys);
+  Alcotest.(check int) "exactly two reconfigurations (up, down)" 2
+    (Morph.morphs morph)
+
+let test_threshold_respected () =
+  let q, manager, _memsys, morph, prog = setup ~threshold:1000 ~dwell:200 in
+  for k = 0 to 40 do
+    Manager.seed manager (prog.Program.entry + (k * 4))
+  done;
+  Event_queue.run_until q ~limit:600_000;
+  Alcotest.(check int) "queue never crossed the bar" 0 (Morph.morphs morph);
+  Alcotest.(check int) "still 6 translators" 6 (Manager.active_slaves manager)
+
+let test_vm_input_plumbing () =
+  (* The read syscall must see the input given to Vm.run. *)
+  let open Asm.Dsl in
+  let items =
+    [ label "start";
+      mov (r ebx) (i 0);
+      mov (r ecx) (isym "buf");
+      mov (r edx) (i 3);
+      mov (r eax) (i Syscall.sys_read);
+      int_ Syscall.vector;
+      mov (r edx) (r eax);
+      mov (r ebx) (i 1);
+      mov (r ecx) (isym "buf");
+      mov (r eax) (i Syscall.sys_write);
+      int_ Syscall.vector;
+      mov (r ebx) (i 0);
+      mov (r eax) (i Syscall.sys_exit);
+      int_ Syscall.vector;
+      Asm.Align 4096;
+      label "buf";
+      Asm.Space 16 ]
+  in
+  let rv = Vm.run ~input:"xyz123" ~fuel:10_000 Config.default (Program.of_asm items) in
+  (match rv.outcome with
+   | Exec.Exited 0 -> ()
+   | _ -> Alcotest.fail "expected clean exit");
+  Alcotest.(check string) "echoed input prefix" "xyz" rv.output
+
+let suite =
+  [ Alcotest.test_case "morphs up then back down" `Quick
+      test_morphs_up_then_down;
+    Alcotest.test_case "threshold respected" `Quick test_threshold_respected;
+    Alcotest.test_case "VM input plumbing" `Quick test_vm_input_plumbing ]
