@@ -34,11 +34,11 @@ let piii_cycles (b : Suite.benchmark) =
    configurations (5/6/7, 9/10) reuse runs. *)
 let run_cache : (string * string, Vm.result) Hashtbl.t = Hashtbl.create 64
 
-let run_vm key (b : Suite.benchmark) cfg =
+let run_vm ?(faults = Fault.empty) key (b : Suite.benchmark) cfg =
   match Hashtbl.find_opt run_cache (b.name, key) with
   | Some r -> r
   | None ->
-    let r = Vm.run ~fuel cfg (Suite.load b) in
+    let r = Vm.run ~fuel ~faults cfg (Suite.load b) in
     (match r.outcome with
      | Exec.Exited _ -> ()
      | Exec.Fault m -> failwith (Printf.sprintf "%s/%s faulted: %s" b.name key m)
@@ -302,6 +302,57 @@ let fabric () =
         d.trades)
     pairs
 
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance: degradation under injected tile failures           *)
+(* ------------------------------------------------------------------ *)
+
+let fault_counts = [ 0; 1; 2; 4; 8 ]
+let fault_seed = 2026
+let fault_horizon = 400_000
+
+(* Plans are drawn from one seed with growing counts; [Fault.random] is a
+   prefix-stable stream, so each column adds faults to the previous one
+   and the curve is a genuine cumulative-damage sweep. *)
+let fault_plan cfg n =
+  Fault.random ~seed:fault_seed ~horizon:fault_horizon
+    ~menu:(Vm.fault_menu cfg) ~count:n
+
+let faults_run b n =
+  let cfg = Config.default in
+  run_vm ~faults:(fault_plan cfg n) (Printf.sprintf "faults-%d" n) b cfg
+
+let fault_benchmarks () =
+  List.map Suite.find [ "gzip"; "mcf"; "parser" ]
+
+let faults () =
+  header
+    (Printf.sprintf
+       "Degradation: slowdown vs injected recoverable faults (seed %d, \
+        cumulative plans)"
+       fault_seed)
+    (List.map (fun n -> Printf.sprintf "%d-fault" n) fault_counts);
+  List.iter
+    (fun b ->
+      row (short_name b)
+        (List.map
+           (fun n -> Printf.sprintf "%.2f" (slowdown b (faults_run b n)))
+           fault_counts))
+    (fault_benchmarks ());
+  Printf.printf
+    "(Guest-visible results are identical in every cell; only timing moves.)\n";
+  header "Recovery activity at the 8-fault point"
+    [ "tiles-lost"; "timeouts"; "retries"; "dropped"; "degraded" ];
+  List.iter
+    (fun b ->
+      let r = faults_run b 8 in
+      row (short_name b)
+        [ string_of_int (Metrics.failed_tiles r);
+          string_of_int (Metrics.fault_timeouts r);
+          string_of_int (Metrics.fault_retries r);
+          string_of_int (Metrics.dropped_requests r);
+          string_of_int (Metrics.degraded_events r) ])
+    (fault_benchmarks ())
+
 let all_figures =
   [ ("fig4", fig4);
     ("fig5", fig5);
@@ -313,4 +364,5 @@ let all_figures =
     ("fig11", fig11);
     ("analysis", analysis);
     ("ablations", ablations);
-    ("fabric", fabric) ]
+    ("fabric", fabric);
+    ("faults", faults) ]

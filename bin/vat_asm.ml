@@ -96,10 +96,26 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Assemble (or load) and execute a guest program")
     Term.(const run $ src $ vm $ stats $ input)
 
+(* Any stray exception (unreadable file, corrupt image, write failure)
+   becomes a one-line diagnostic, never a backtrace. *)
 let () =
-  exit
-    (Cmd.eval
-       (Cmd.group
-          (Cmd.info "vat_asm" ~version:"1.0"
-             ~doc:"G86 assembler, disassembler, and runner")
-          [ build_cmd; dis_cmd; run_cmd ]))
+  let group =
+    Cmd.group
+      (Cmd.info "vat_asm" ~version:"1.0"
+         ~doc:"G86 assembler, disassembler, and runner")
+      [ build_cmd; dis_cmd; run_cmd ]
+  in
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception Failure msg ->
+    Printf.eprintf "vat_asm: %s\n" msg;
+    exit 1
+  | exception Sys_error msg ->
+    Printf.eprintf "vat_asm: %s\n" msg;
+    exit 1
+  | exception Invalid_argument msg ->
+    Printf.eprintf "vat_asm: %s\n" msg;
+    exit 1
+  | exception Image.Bad_image msg ->
+    Printf.eprintf "vat_asm: %s\n" msg;
+    exit 1

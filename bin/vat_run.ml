@@ -33,9 +33,15 @@ let build_config base translators banks l15 no_spec no_opt no_chain morph =
     { cfg with Config.morph = Config.Morph { threshold; dwell = 25000 } }
   | None -> cfg
 
-let run_one cfg show_stats (b : Suite.benchmark) =
+let fault_plan cfg ~faults ~seed =
+  if faults = 0 then Vat_desim.Fault.empty
+  else
+    Vat_desim.Fault.random ~seed ~horizon:400_000 ~menu:(Vm.fault_menu cfg)
+      ~count:faults
+
+let run_one cfg show_stats plan (b : Suite.benchmark) =
   let piii = Vat_refmodel.Piii.run (Suite.load b) in
-  let rv = Vm.run ~fuel:100_000_000 cfg (Suite.load b) in
+  let rv = Vm.run ~fuel:100_000_000 ~faults:plan cfg (Suite.load b) in
   let outcome =
     match rv.outcome with
     | Exec.Exited n -> Printf.sprintf "exit %d" n
@@ -46,13 +52,22 @@ let run_one cfg show_stats (b : Suite.benchmark) =
     "%-14s %-12s %9d guest insns %11d cycles   slowdown %6.2f\n" b.name
     outcome rv.guest_insns rv.cycles
     (Vm.slowdown rv ~piii_cycles:piii.cycles);
+  if Metrics.faults_injected rv <> 0 then
+    Printf.printf
+      "  faults: %d injected, %d tiles lost, %d timeouts, %d retries, %d \
+       degraded-path events\n"
+      (Metrics.faults_injected rv)
+      (Metrics.failed_tiles rv)
+      (Metrics.fault_timeouts rv)
+      (Metrics.fault_retries rv)
+      (Metrics.degraded_events rv);
   if show_stats then begin
     Format.printf "%a" Metrics.pp_result rv;
     Format.printf "%a" Vat_desim.Stats.pp rv.stats
   end
 
 let main list_benches bench base translators banks l15 no_spec no_opt no_chain
-    morph show_stats =
+    morph show_stats faults fault_seed =
   if list_benches then begin
     List.iter
       (fun (b : Suite.benchmark) ->
@@ -60,6 +75,7 @@ let main list_benches bench base translators banks l15 no_spec no_opt no_chain
       Suite.all;
     `Ok ()
   end
+  else if faults < 0 then `Error (false, "--faults must be non-negative")
   else
     match
       build_config base translators banks l15 no_spec no_opt no_chain morph
@@ -69,16 +85,17 @@ let main list_benches bench base translators banks l15 no_spec no_opt no_chain
       match Config.validate cfg with
       | Error msg -> `Error (false, "invalid configuration: " ^ msg)
       | Ok () -> (
+        let plan = fault_plan cfg ~faults ~seed:fault_seed in
         match bench with
         | Some name -> (
           match Suite.find name with
           | b ->
-            run_one cfg show_stats b;
+            run_one cfg show_stats plan b;
             `Ok ()
           | exception Not_found ->
             `Error (false, "unknown benchmark " ^ name ^ " (try --list)"))
         | None ->
-          List.iter (run_one cfg show_stats) Suite.all;
+          List.iter (run_one cfg show_stats plan) Suite.all;
           `Ok ()))
 
 let cmd =
@@ -139,11 +156,25 @@ let cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print detailed statistics.")
   in
+  let faults =
+    Arg.(
+      value & opt int 0
+      & info [ "faults" ] ~docv:"N"
+          ~doc:
+            "Inject N random recoverable tile faults (fail-stops, request \
+             drops, slow tiles) from a seeded deterministic plan.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 2026
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed for the fault plan; same seed replays the same faults.")
+  in
   let term =
     Term.(
       ret
         (const main $ list_flag $ bench $ base $ translators $ banks $ l15
-        $ no_spec $ no_opt $ no_chain $ morph $ stats))
+        $ no_spec $ no_opt $ no_chain $ morph $ stats $ faults $ fault_seed))
   in
   Cmd.v
     (Cmd.info "vat_run" ~version:"1.0"
@@ -152,4 +183,17 @@ let cmd =
           (parallel dynamic binary translation on a tiled processor)")
     term
 
-let () = exit (Cmd.eval cmd)
+(* Any stray exception (unreadable file, corrupt image, internal limit)
+   becomes a one-line diagnostic, never a backtrace. *)
+let () =
+  match Cmd.eval ~catch:false cmd with
+  | code -> exit code
+  | exception Failure msg ->
+    Printf.eprintf "vat_run: %s\n" msg;
+    exit 1
+  | exception Sys_error msg ->
+    Printf.eprintf "vat_run: %s\n" msg;
+    exit 1
+  | exception Invalid_argument msg ->
+    Printf.eprintf "vat_run: %s\n" msg;
+    exit 1

@@ -47,6 +47,14 @@ type t = {
   morph_flush_per_line : int;
   morph_role_switch_cycles : int;
   sample_interval : int;
+  fault_tolerance : bool;
+  fill_deadline_cycles : int;
+  fill_max_retries : int;
+  fill_backoff_mult : int;
+  mem_deadline_cycles : int;
+  mem_max_retries : int;
+  demand_translate_penalty_cycles : int;
+  watchdog_stall_cycles : int;
 }
 
 let default =
@@ -96,7 +104,15 @@ let default =
     syscall_per_byte_cycles = 2;
     morph_flush_per_line = 4;
     morph_role_switch_cycles = 2500;
-    sample_interval = 1000 }
+    sample_interval = 1000;
+    fault_tolerance = false;
+    fill_deadline_cycles = 6000;
+    fill_max_retries = 3;
+    fill_backoff_mult = 2;
+    mem_deadline_cycles = 4000;
+    mem_max_retries = 3;
+    demand_translate_penalty_cycles = 300;
+    watchdog_stall_cycles = 1_000_000 }
 
 let fixed_tiles = 4
 
@@ -113,6 +129,11 @@ let validate t =
   else if t.line_bytes <= 0 || t.l1d_bytes mod (t.l1d_ways * t.line_bytes) <> 0
   then Error "L1D geometry invalid"
   else if t.max_block_insns < 1 then Error "max_block_insns must be positive"
+  else if t.fault_tolerance
+          && (t.fill_deadline_cycles < 1 || t.mem_deadline_cycles < 1
+              || t.fill_max_retries < 0 || t.mem_max_retries < 0
+              || t.fill_backoff_mult < 1 || t.watchdog_stall_cycles < 1)
+  then Error "fault-tolerance parameters invalid"
   else Ok ()
 
 let trans_heavy t = { t with n_translators = 9; n_l2d_banks = 1 }

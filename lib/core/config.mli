@@ -74,6 +74,24 @@ type t = {
   morph_flush_per_line : int;
   morph_role_switch_cycles : int;
   sample_interval : int;
+  (* Fault tolerance. When [fault_tolerance] is off (the default) none of
+     the recovery machinery is armed and timing is identical to a build
+     without it; {!Vm.run} arms it automatically when given a non-empty
+     fault plan. *)
+  fault_tolerance : bool;
+  fill_deadline_cycles : int;
+      (** Base deadline for a code fill before it is retried. *)
+  fill_max_retries : int;
+  fill_backoff_mult : int;
+      (** Each retry multiplies the deadline (exponential backoff). *)
+  mem_deadline_cycles : int;
+      (** Base deadline for a data-memory access before it is retried. *)
+  mem_max_retries : int;
+  demand_translate_penalty_cycles : int;
+      (** Extra cycles when the manager demand-translates a block itself
+          (the degraded path after fill retries are exhausted). *)
+  watchdog_stall_cycles : int;
+      (** Abort when no guest instruction retires for this many cycles. *)
 }
 
 val default : t

@@ -130,6 +130,10 @@ let finish t outcome =
       (fun () -> cb outcome)
   end
 
+let abort t msg = finish t (Fault msg)
+let finished t = t.outcome <> None
+let slow_syscall t ~factor ~cycles = Service.slow t.syscall_svc ~factor ~cycles
+
 (* Schedule an interaction with another tile at the engine's local time
    (the queue may be lagging behind the engine). *)
 let at_local t f =

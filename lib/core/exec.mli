@@ -38,6 +38,16 @@ val start : t -> fuel:int -> on_finish:(outcome -> unit) -> unit
 val local_time : t -> int
 (** The engine's cycle counter (total executed cycles). *)
 
+val abort : t -> string -> unit
+(** Terminate the run with [Fault msg] as a clean outcome (no exception).
+    Used for unrecoverable tile failures and watchdog stalls; a no-op if
+    the run already finished. *)
+
+val finished : t -> bool
+
+val slow_syscall : t -> factor:int -> cycles:int -> unit
+(** Degrade the syscall proxy tile (fault injection). *)
+
 val guest_instructions : t -> int
 val output : t -> string
 val guest_reg : t -> Insn.reg -> int

@@ -22,6 +22,7 @@ let create grid =
     pool =
       [| c 2 0; c 3 0; c 2 1; c 3 1; c 1 2; c 2 2; c 3 2; c 1 3; c 2 3; c 3 3 |] }
 
+let grid t = t.grid
 let exec t = t.exec
 let mmu t = t.mmu
 let manager t = t.manager

@@ -12,6 +12,10 @@ type t
 
 val create : Grid.t -> t
 
+val grid : t -> Grid.t
+(** The underlying grid (shared, mutable: marking a tile failed there
+    changes subsequent latencies). *)
+
 val exec : t -> Grid.coord
 val mmu : t -> Grid.coord
 val manager : t -> Grid.coord

@@ -7,7 +7,14 @@ type mgr_req =
 
 type l15_req = { addr : int; bank : int; reply : Block.t -> unit }
 
-type slave = { mutable busy : bool; mutable active : bool }
+type slave = {
+  mutable busy : bool;
+  mutable active : bool;
+  mutable failed : bool;
+  mutable current : int option;       (* guest addr being translated *)
+  mutable slow_factor : int;
+  mutable slow_until : int;
+}
 
 type t = {
   q : Event_queue.t;
@@ -21,6 +28,7 @@ type t = {
   spec : Spec.t;
   slaves : slave array;
   waiters : (int, (Block.t -> unit) list) Hashtbl.t;
+  mutable l15_alive : int array;      (* physical bank indexes still alive *)
   mutable mgr_service : mgr_req Service.t option;
   mutable l15_services : l15_req Service.t array;
   mutable drain_waiters : (unit -> unit) list;
@@ -37,7 +45,7 @@ let slave_pool_slot _t i = 9 - min 9 i
 let rec kick_slaves t =
   let idle = ref [] in
   Array.iteri
-    (fun i s -> if s.active && not s.busy then idle := i :: !idle)
+    (fun i s -> if s.active && (not s.failed) && not s.busy then idle := i :: !idle)
     t.slaves;
   match !idle with
   | [] -> ()
@@ -47,6 +55,7 @@ let rec kick_slaves t =
     | Some addr ->
       let s = t.slaves.(i) in
       s.busy <- true;
+      s.current <- Some addr;
       let block = Translate.translate t.cfg ~fetch:t.fetch ~guest_addr:addr in
       (* Record the generations of the guest pages the translator read, so
          a store racing with this translation is caught at install time. *)
@@ -61,16 +70,40 @@ let rec kick_slaves t =
       Stats.add t.stats "translations.guest_insns" block.guest_insns;
       Stats.add t.stats "translations.host_insns" (Array.length block.code);
       Stats.add t.stats "translations.cycles" block.translation_cycles;
-      Event_queue.after t.q ~delay:(max 1 block.translation_cycles) (fun () ->
-          s.busy <- false;
-          Service.submit (mgr t)
-            ~delay:(Layout.lat_manager_slave t.layout (slave_pool_slot t i))
-            (Translated { slave = i; block; gens });
-          (* A slave that was deactivated mid-block finishes it first. *)
-          notify_drained t;
-          kick_slaves t);
+      let occupancy =
+        if s.slow_factor > 1 && Event_queue.now t.q < s.slow_until then
+          block.translation_cycles * s.slow_factor
+        else block.translation_cycles
+      in
+      Event_queue.after t.q ~delay:(max 1 occupancy) (fun () ->
+          (* A slave that fail-stopped mid-block never delivers it; the
+             requeue happened at eviction time. *)
+          if not s.failed then begin
+            s.busy <- false;
+            s.current <- None;
+            Service.submit (mgr t)
+              ~delay:(Layout.lat_manager_slave t.layout (slave_pool_slot t i))
+              (Translated { slave = i; block; gens });
+            if t.cfg.Config.fault_tolerance then
+              watch_install t block.Block.guest_addr;
+            (* A slave that was deactivated mid-block finishes it first. *)
+            notify_drained t;
+            kick_slaves t
+          end);
       kick_slaves t
   end
+
+(* Deadline on slave dispatch: if the Translated message was lost (dropped
+   request, manager transiently deaf), the address would stay in-flight
+   forever and every future demand would be ignored. Requeue it. *)
+and watch_install t addr =
+  Event_queue.after t.q ~delay:t.cfg.Config.fill_deadline_cycles (fun () ->
+      if Spec.is_known t.spec addr && not (Spec.is_done t.spec addr) then begin
+        Stats.incr t.stats "fault.translations_requeued";
+        Spec.forget t.spec addr;
+        if Hashtbl.mem t.waiters addr then Spec.request_demand t.spec addr;
+        kick_slaves t
+      end)
 
 and notify_drained t =
   if t.drain_waiters <> [] && Array.for_all (fun s -> s.active || not s.busy) t.slaves
@@ -179,6 +212,14 @@ let serve_l15 t { addr; bank; reply } =
           ~delay:(Layout.lat_l15_manager t.layout bank)
           (Fill { addr; reply = reply_installing }) )
 
+(* A request reaching a dead L1.5 bank falls through to the manager (the
+   network re-routes; the bank's caching is simply lost). *)
+let reroute_l15 t { addr; bank; reply } =
+  Stats.incr t.stats "fault.l15_reroutes";
+  Service.submit (mgr t)
+    ~delay:(Layout.lat_l15_manager t.layout bank)
+    (Fill { addr; reply })
+
 let create q stats cfg layout ~fetch ~page_gen =
   let t =
     { q;
@@ -194,8 +235,14 @@ let create q stats cfg layout ~fetch ~page_gen =
       spec = Spec.create cfg stats;
       slaves =
         Array.init 9 (fun i ->
-            { busy = false; active = i < cfg.Config.n_translators });
+            { busy = false;
+              active = i < cfg.Config.n_translators;
+              failed = false;
+              current = None;
+              slow_factor = 1;
+              slow_until = 0 });
       waiters = Hashtbl.create 64;
+      l15_alive = Array.init cfg.Config.n_l15_banks (fun i -> i);
       mgr_service = None;
       l15_services = [||];
       drain_waiters = [] }
@@ -204,25 +251,77 @@ let create q stats cfg layout ~fetch ~page_gen =
   t.l15_services <-
     Array.init (max 1 cfg.Config.n_l15_banks) (fun _i ->
         Service.create q ~name:"l15" ~serve:(serve_l15 t));
+  Array.iter
+    (fun svc -> Service.set_reject_handler svc (reroute_l15 t))
+    t.l15_services;
   t
 
 let seed t addr =
   Spec.seed t.spec addr;
   kick_slaves t
 
-let l15_bank_of t addr = (addr lsr 6) land (Array.length t.l15_services - 1)
+let pick_l15 t addr =
+  let n = Array.length t.l15_alive in
+  if n = 0 then None else Some t.l15_alive.((addr lsr 6) mod n)
 
-let request_fill t ~addr ~on_ready =
-  if t.cfg.Config.n_l15_banks > 0 then begin
-    let bank = l15_bank_of t addr in
+let submit_fill_once t ~addr ~reply =
+  match pick_l15 t addr with
+  | Some bank ->
     Service.submit t.l15_services.(bank)
       ~delay:(Layout.lat_exec_l15 t.layout bank)
-      { addr; bank; reply = on_ready }
-  end
-  else
+      { addr; bank; reply }
+  | None ->
     Service.submit (mgr t)
       ~delay:(Layout.lat_exec_manager t.layout)
-      (Fill { addr; reply = on_ready })
+      (Fill { addr; reply })
+
+(* Degraded path once retries are exhausted: the manager stops waiting for
+   the slave pool and translates (or re-reads) the block itself. Data is
+   functional, so this changes timing, never semantics. *)
+let degraded_fill t ~addr ~reply =
+  Stats.incr t.stats "fault.demand_translates";
+  let block =
+    match Code_cache.L2.find t.l2 addr with
+    | Some b -> b
+    | None ->
+      let b = Translate.translate t.cfg ~fetch:t.fetch ~guest_addr:addr in
+      Code_cache.L2.install t.l2 b;
+      Spec.mark_done t.spec addr;
+      Spec.note_block_translated t.spec b;
+      b
+  in
+  Event_queue.after t.q
+    ~delay:
+      (t.cfg.Config.demand_translate_penalty_cycles
+      + Layout.lat_manager_exec t.layout)
+    (fun () -> reply block)
+
+let request_fill t ~addr ~on_ready =
+  if not t.cfg.Config.fault_tolerance then
+    submit_fill_once t ~addr ~reply:on_ready
+  else begin
+    (* First reply wins; duplicates from retried requests are dropped. *)
+    let done_ = ref false in
+    let reply block =
+      if not !done_ then begin
+        done_ := true;
+        on_ready block
+      end
+    in
+    let rec attempt retries deadline =
+      submit_fill_once t ~addr ~reply;
+      Event_queue.after t.q ~delay:deadline (fun () ->
+          if not !done_ then begin
+            Stats.incr t.stats "fault.fill_timeouts";
+            if retries < t.cfg.Config.fill_max_retries then begin
+              Stats.incr t.stats "fault.fill_retries";
+              attempt (retries + 1) (deadline * t.cfg.Config.fill_backoff_mult)
+            end
+            else degraded_fill t ~addr ~reply
+          end)
+    in
+    attempt 0 t.cfg.Config.fill_deadline_cycles
+  end
 
 let note_on_path t addr = Spec.note_on_path t.spec addr
 
@@ -241,9 +340,80 @@ let active_slaves t =
 let busy_slaves t =
   Array.fold_left (fun acc s -> if s.busy then acc + 1 else acc) 0 t.slaves
 
+let usable_slaves t =
+  Array.fold_left (fun acc s -> if s.failed then acc else acc + 1) 0 t.slaves
+
 let set_active_slaves t n ~on_done =
   let n = max 1 (min (Array.length t.slaves) n) in
-  Array.iteri (fun i s -> s.active <- i < n) t.slaves;
+  let assigned = ref 0 in
+  Array.iter
+    (fun s ->
+      if s.failed then s.active <- false
+      else begin
+        s.active <- !assigned < n;
+        if s.active then incr assigned
+      end)
+    t.slaves;
   kick_slaves t;
   if Array.for_all (fun s -> s.active || not s.busy) t.slaves then on_done ()
   else t.drain_waiters <- on_done :: t.drain_waiters
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fail_translator t i =
+  if i < 0 || i >= Array.length t.slaves then
+    invalid_arg "Manager.fail_translator";
+  let s = t.slaves.(i) in
+  if not s.failed then begin
+    s.failed <- true;
+    s.active <- false;
+    Stats.incr t.stats "fault.translator_evictions";
+    (match s.current with
+     | Some addr ->
+       (* The in-flight block dies with the tile: requeue it if anyone is
+          (or becomes) interested. *)
+       Stats.incr t.stats "fault.translations_lost";
+       Spec.forget t.spec addr;
+       if Hashtbl.mem t.waiters addr then Spec.request_demand t.spec addr
+     | None -> ());
+    s.busy <- false;
+    s.current <- None;
+    notify_drained t;
+    kick_slaves t
+  end
+
+let slow_translator t i ~factor ~cycles =
+  if i < 0 || i >= Array.length t.slaves then
+    invalid_arg "Manager.slow_translator";
+  let s = t.slaves.(i) in
+  if factor <= 1 then begin
+    s.slow_factor <- 1;
+    s.slow_until <- 0
+  end
+  else begin
+    s.slow_factor <- factor;
+    s.slow_until <- Event_queue.now t.q + max 0 cycles
+  end
+
+let alive_l15_banks t = Array.length t.l15_alive
+
+let fail_l15_bank t i =
+  if i < 0 || i >= Array.length t.l15_services then
+    invalid_arg "Manager.fail_l15_bank";
+  if Array.exists (( = ) i) t.l15_alive then begin
+    Stats.incr t.stats "fault.l15_failures";
+    t.l15_alive <- Array.of_list (List.filter (( <> ) i) (Array.to_list t.l15_alive));
+    let orphans = Service.fail t.l15_services.(i) in
+    List.iter (reroute_l15 t) orphans
+  end
+
+let l15_drop t i n = Service.drop_next t.l15_services.(i) n
+let l15_slow t i ~factor ~cycles = Service.slow t.l15_services.(i) ~factor ~cycles
+let mgr_drop t n = Service.drop_next (mgr t) n
+let mgr_slow t ~factor ~cycles = Service.slow (mgr t) ~factor ~cycles
+
+let dropped_requests t =
+  Service.dropped (mgr t)
+  + Array.fold_left (fun acc s -> acc + Service.dropped s) 0 t.l15_services

@@ -48,6 +48,41 @@ val active_slaves : t -> int
 
 val set_active_slaves : t -> int -> on_done:(unit -> unit) -> unit
 (** Morphing: raise or lower the number of slave tiles. Lowering waits for
-    the affected slaves to finish their current block. *)
+    the affected slaves to finish their current block. Fail-stopped slaves
+    are never reactivated; the target is met from surviving tiles. *)
 
 val busy_slaves : t -> int
+
+(** {2 Fault injection and recovery}
+
+    With {!Config.t.fault_tolerance} armed, {!request_fill} carries a
+    per-request deadline: a fill whose reply does not arrive is retried
+    with exponential backoff, and after the retry budget is spent the
+    manager demand-translates the block itself (degraded but correct).
+    Slave dispatch carries the same deadline, requeueing translations
+    whose install message was lost. *)
+
+val fail_translator : t -> int -> unit
+(** Fail-stop slave [i]: permanently evicted from the pool; its in-flight
+    translation is requeued for a surviving slave. *)
+
+val slow_translator : t -> int -> factor:int -> cycles:int -> unit
+
+val usable_slaves : t -> int
+(** Slaves that have not fail-stopped (the morph ceiling). *)
+
+val slave_pool_slot : t -> int -> int
+(** The pool-tile slot (see {!Layout.pool}) slave [i] occupies. *)
+
+val fail_l15_bank : t -> int -> unit
+(** Fail-stop an L1.5 bank: queued and future lookups re-route to the
+    manager; the surviving banks absorb the address space. *)
+
+val alive_l15_banks : t -> int
+val l15_drop : t -> int -> int -> unit
+val l15_slow : t -> int -> factor:int -> cycles:int -> unit
+val mgr_drop : t -> int -> unit
+val mgr_slow : t -> factor:int -> cycles:int -> unit
+
+val dropped_requests : t -> int
+(** Requests lost to faults across the manager and L1.5 services. *)

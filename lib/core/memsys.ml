@@ -16,7 +16,9 @@ type t = {
   mutable tlb_tick : int;
   mutable tlb_hits : int;
   mutable tlb_misses : int;
-  mutable n_banks : int;
+  mutable n_banks : int;        (* logical interleave width *)
+  mutable bank_map : int array; (* logical bank -> physical bank *)
+  alive : bool array;           (* physical bank still working *)
   banks : Cache.t array;        (* up to the maximum bank count *)
   mutable mmu : mmu_req Service.t option;
   mutable bank_services : bank_req Service.t array;
@@ -27,6 +29,20 @@ let the_mmu t =
   match t.mmu with Some s -> s | None -> assert false
 
 let max_banks = 4
+
+let alive_count t =
+  Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 t.alive
+
+let compute_map t n =
+  let out = ref [] and taken = ref 0 in
+  Array.iteri
+    (fun i a ->
+      if a && !taken < n then begin
+        out := i :: !out;
+        incr taken
+      end)
+    t.alive;
+  Array.of_list (List.rev !out)
 
 let tlb_lookup t vpage =
   t.tlb_tick <- t.tlb_tick + 1;
@@ -109,12 +125,21 @@ let make_mmu t =
         else t.cfg.Config.mmu_walk_cycles
       in
       let paddr = translate t vaddr in
-      let bank = bank_of t paddr in
-      let forward_latency = Layout.lat_mmu_bank t.layout bank in
-      ( occupancy,
-        fun () ->
-          Service.submit t.bank_services.(bank) ~delay:forward_latency
-            { paddr; bwrite = write; bank; bon_done = on_done } ))
+      if Array.length t.bank_map = 0 then begin
+        (* Every bank is dead: the MMU serves straight from DRAM. *)
+        Stats.incr t.stats "fault.uncached_dram_accesses";
+        ( occupancy + t.cfg.Config.dram_cycles,
+          fun () ->
+            Event_queue.after t.q ~delay:(Layout.lat_exec_mmu t.layout) on_done )
+      end
+      else begin
+        let phys = t.bank_map.(bank_of t paddr) in
+        let forward_latency = Layout.lat_mmu_bank t.layout phys in
+        ( occupancy,
+          fun () ->
+            Service.submit t.bank_services.(phys) ~delay:forward_latency
+              { paddr; bwrite = write; bank = phys; bon_done = on_done } )
+      end)
 
 let create q stats cfg layout ~page_table =
   let banks =
@@ -124,6 +149,7 @@ let create q stats cfg layout ~page_table =
           ~size_bytes:cfg.Config.l2d_bank_bytes ~ways:cfg.Config.l2d_ways
           ~line_bytes:cfg.Config.line_bytes)
   in
+  let n_banks = min max_banks (max 1 cfg.Config.n_l2d_banks) in
   let t =
     { q;
       stats;
@@ -135,7 +161,9 @@ let create q stats cfg layout ~page_table =
       tlb_tick = 0;
       tlb_hits = 0;
       tlb_misses = 0;
-      n_banks = min max_banks (max 1 cfg.Config.n_l2d_banks);
+      n_banks;
+      bank_map = Array.init n_banks (fun i -> i);
+      alive = Array.make max_banks true;
       banks;
       mmu = None;
       bank_services = [||];
@@ -145,46 +173,124 @@ let create q stats cfg layout ~page_table =
   t.bank_services <- Array.init max_banks (make_bank_service t);
   t
 
-let access t ~addr ~write ~on_done =
+let submit_access t ~addr ~write ~on_done =
   Service.submit (the_mmu t)
     ~delay:(Layout.lat_exec_mmu t.layout)
     { vaddr = addr; write; on_done }
 
+let access t ~addr ~write ~on_done =
+  if not t.cfg.Config.fault_tolerance then submit_access t ~addr ~write ~on_done
+  else begin
+    (* Per-request deadline: a reply lost to a dead or lossy bank is
+       retried (values are functional, so duplicates only cost time), and
+       the last resort is an uncached DRAM access charged locally. *)
+    let done_ = ref false in
+    let reply () =
+      if not !done_ then begin
+        done_ := true;
+        on_done ()
+      end
+    in
+    let rec attempt retries deadline =
+      submit_access t ~addr ~write ~on_done:reply;
+      Event_queue.after t.q ~delay:deadline (fun () ->
+          if not !done_ then begin
+            Stats.incr t.stats "fault.mem_timeouts";
+            if retries < t.cfg.Config.mem_max_retries then begin
+              Stats.incr t.stats "fault.mem_retries";
+              attempt (retries + 1) (deadline * t.cfg.Config.fill_backoff_mult)
+            end
+            else begin
+              Stats.incr t.stats "fault.mem_direct_dram";
+              Event_queue.after t.q ~delay:t.cfg.Config.dram_cycles reply
+            end
+          end)
+    in
+    attempt 0 t.cfg.Config.mem_deadline_cycles
+  end
+
 let active_banks t = t.n_banks
 
-let reconfigure_banks t n ~on_done =
-  let n = max 1 (min max_banks n) in
-  if n = t.n_banks || t.reconfiguring then on_done 0
-  else begin
-    t.reconfiguring <- true;
-    (* Stop accepting new bank work, let in-flight requests finish. *)
-    Array.iter (fun s -> Service.set_paused s true) t.bank_services;
-    let drained = ref 0 in
-    let total = Array.length t.bank_services in
-    let finish () =
-      (* Changing the interleave invalidates every bank: flush them all
-         and charge the writeback traffic. *)
-      let dirty = ref 0 in
-      Array.iteri
-        (fun i c -> if i < max_banks then dirty := !dirty + Cache.flush c)
-        t.banks;
-      t.n_banks <- n;
-      let cost =
-        (!dirty * t.cfg.Config.morph_flush_per_line)
-        + t.cfg.Config.morph_role_switch_cycles
-      in
-      Event_queue.after t.q ~delay:(max 1 cost) (fun () ->
-          Array.iter (fun s -> Service.set_paused s false) t.bank_services;
-          t.reconfiguring <- false;
-          on_done !dirty)
+(* Drain the (surviving) banks, flush everything, then switch the
+   interleave to [n] logical banks mapped over the alive tiles. Both
+   morphing and fault-driven re-banking funnel through here. *)
+let reshape t n ~on_done =
+  t.reconfiguring <- true;
+  (* Stop accepting new bank work, let in-flight requests finish. *)
+  Array.iter (fun s -> Service.set_paused s true) t.bank_services;
+  let drained = ref 0 in
+  let total = Array.length t.bank_services in
+  let finish () =
+    (* Changing the interleave invalidates every bank: flush them all
+       and charge the writeback traffic. *)
+    let dirty = ref 0 in
+    Array.iteri
+      (fun i c -> if i < max_banks then dirty := !dirty + Cache.flush c)
+      t.banks;
+    (* Recompute against the alive set as of now — a bank that died
+       during the drain is excluded here. *)
+    let n = max 1 (min n (max 1 (alive_count t))) in
+    t.n_banks <- n;
+    t.bank_map <- compute_map t n;
+    let cost =
+      (!dirty * t.cfg.Config.morph_flush_per_line)
+      + t.cfg.Config.morph_role_switch_cycles
     in
-    Array.iter
-      (fun s ->
-        Service.drain_then s (fun () ->
-            incr drained;
-            if !drained = total then finish ()))
-      t.bank_services
+    Event_queue.after t.q ~delay:(max 1 cost) (fun () ->
+        (* A bank can die during the switch window itself; never leave a
+           dead tile in the map. (Caches are timing-only, so skipping a
+           second flush here costs accuracy, not correctness.) *)
+        if Array.exists (fun b -> not t.alive.(b)) t.bank_map then begin
+          let n = max 1 (min t.n_banks (max 1 (alive_count t))) in
+          t.n_banks <- n;
+          t.bank_map <- compute_map t n
+        end;
+        Array.iter (fun s -> Service.set_paused s false) t.bank_services;
+        t.reconfiguring <- false;
+        on_done !dirty)
+  in
+  Array.iter
+    (fun s ->
+      Service.drain_then s (fun () ->
+          incr drained;
+          if !drained = total then finish ()))
+    t.bank_services
+
+let reconfigure_banks t n ~on_done =
+  let n = max 1 (min (min max_banks n) (max 1 (alive_count t))) in
+  if n = t.n_banks || t.reconfiguring then on_done 0
+  else reshape t n ~on_done
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fail_bank t i =
+  if i < 0 || i >= max_banks then invalid_arg "Memsys.fail_bank";
+  if t.alive.(i) then begin
+    t.alive.(i) <- false;
+    Stats.incr t.stats "fault.l2d_bank_failures";
+    (* Queued and in-flight requests die with the tile; the access-level
+       retry deadline recovers them. *)
+    ignore (Service.fail t.bank_services.(i));
+    if t.reconfiguring then ()
+      (* The in-progress reshape reads the alive set when it lands. *)
+    else
+      reshape t (min t.n_banks (max 1 (alive_count t))) ~on_done:(fun dirty ->
+          Stats.incr t.stats "fault.rebanks";
+          Stats.add t.stats "fault.rebank_writebacks" dirty)
   end
+
+let alive_banks t = alive_count t
+
+let bank_drop t i n = Service.drop_next t.bank_services.(i) n
+let bank_slow t i ~factor ~cycles = Service.slow t.bank_services.(i) ~factor ~cycles
+let mmu_drop t n = Service.drop_next (the_mmu t) n
+let mmu_slow t ~factor ~cycles = Service.slow (the_mmu t) ~factor ~cycles
+
+let dropped_requests t =
+  Service.dropped (the_mmu t)
+  + Array.fold_left (fun acc s -> acc + Service.dropped s) 0 t.bank_services
 
 let bank_queue_total t =
   Array.fold_left (fun acc s -> acc + Service.queue_length s) 0 t.bank_services

@@ -22,7 +22,10 @@ val create :
 val access : t -> addr:int -> write:bool -> on_done:(unit -> unit) -> unit
 (** Submit a miss from the execution tile's L1 data cache at the current
     event-queue time plus the exec->MMU latency. [on_done] fires when the
-    reply reaches the execution tile. *)
+    reply reaches the execution tile. With {!Config.t.fault_tolerance}
+    armed the request carries a deadline: lost replies are retried with
+    exponential backoff, falling back to an uncached DRAM access (data is
+    functional, so faults cost time, never correctness). *)
 
 val active_banks : t -> int
 
@@ -30,6 +33,24 @@ val reconfigure_banks : t -> int -> on_done:(int -> unit) -> unit
 (** Change the number of active banks: waits for the banks to drain,
     flushes them (writebacks cost cycles), then switches the interleave.
     [on_done] receives the number of dirty lines written back. *)
+
+(** {2 Fault injection and recovery} *)
+
+val fail_bank : t -> int -> unit
+(** Fail-stop physical bank [i]: its queued and in-flight requests are
+    lost (recovered by the access deadline), and a morph-style re-bank
+    drains the survivors, flushes them, and re-hashes the line interleave
+    over the remaining alive banks. With no banks left, the MMU serves
+    accesses straight from DRAM. *)
+
+val alive_banks : t -> int
+val bank_drop : t -> int -> int -> unit
+val bank_slow : t -> int -> factor:int -> cycles:int -> unit
+val mmu_drop : t -> int -> unit
+val mmu_slow : t -> factor:int -> cycles:int -> unit
+
+val dropped_requests : t -> int
+(** Requests lost to faults across the MMU and bank services. *)
 
 val bank_queue_total : t -> int
 val tlb_hits : t -> int

@@ -28,15 +28,40 @@ let l1d_miss_rate r =
 
 let reconfigurations r = get r "morph.reconfigurations"
 
+let faults_injected r = get r "fault.injected"
+let failed_tiles r = get r "fault.failed_tiles"
+let fault_timeouts r = get r "fault.fill_timeouts" + get r "fault.mem_timeouts"
+let fault_retries r = get r "fault.fill_retries" + get r "fault.mem_retries"
+let dropped_requests r = get r "fault.dropped_requests"
+
+let degraded_events r =
+  get r "fault.demand_translates" + get r "fault.mem_direct_dram"
+  + get r "fault.rebanks" + get r "fault.l15_reroutes"
+  + get r "fault.uncached_dram_accesses"
+
+let watchdog_aborts r = get r "fault.watchdog_aborts"
+
 let summary r =
-  [ ("l2code_accesses_per_cycle", l2_code_accesses_per_cycle r);
-    ("l2code_miss_rate", l2_code_miss_rate r);
-    ("l1code_miss_rate", l1_code_miss_rate r);
-    ("l15_hit_rate", l15_hit_rate r);
-    ("chain_rate", chain_rate r);
-    ("mem_access_rate", mem_access_rate r);
-    ("l1d_miss_rate", l1d_miss_rate r);
-    ("reconfigurations", float_of_int (reconfigurations r)) ]
+  let base =
+    [ ("l2code_accesses_per_cycle", l2_code_accesses_per_cycle r);
+      ("l2code_miss_rate", l2_code_miss_rate r);
+      ("l1code_miss_rate", l1_code_miss_rate r);
+      ("l15_hit_rate", l15_hit_rate r);
+      ("chain_rate", chain_rate r);
+      ("mem_access_rate", mem_access_rate r);
+      ("l1d_miss_rate", l1d_miss_rate r);
+      ("reconfigurations", float_of_int (reconfigurations r)) ]
+  in
+  if faults_injected r = 0 then base
+  else
+    base
+    @ [ ("faults_injected", float_of_int (faults_injected r));
+        ("failed_tiles", float_of_int (failed_tiles r));
+        ("fault_timeouts", float_of_int (fault_timeouts r));
+        ("fault_retries", float_of_int (fault_retries r));
+        ("fault_dropped_requests", float_of_int (dropped_requests r));
+        ("fault_degraded_events", float_of_int (degraded_events r));
+        ("watchdog_aborts", float_of_int (watchdog_aborts r)) ]
 
 let pp_result ppf (r : Vm.result) =
   Format.fprintf ppf "cycles %d, guest insns %d@." r.cycles r.guest_insns;

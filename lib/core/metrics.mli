@@ -17,8 +17,26 @@ val mem_access_rate : Vm.result -> float
 val l1d_miss_rate : Vm.result -> float
 val reconfigurations : Vm.result -> int
 
+(** {2 Fault and recovery counters} (all zero on a fault-free run) *)
+
+val faults_injected : Vm.result -> int
+val failed_tiles : Vm.result -> int
+val fault_timeouts : Vm.result -> int
+(** Requests whose deadline expired (code fills + data accesses). *)
+
+val fault_retries : Vm.result -> int
+val dropped_requests : Vm.result -> int
+(** Requests lost at failed or lossy tiles. *)
+
+val degraded_events : Vm.result -> int
+(** Times a degraded path ran: manager demand-translations, direct-DRAM
+    data accesses, re-banks, and L1.5 re-routes. *)
+
+val watchdog_aborts : Vm.result -> int
+
 val summary : Vm.result -> (string * float) list
-(** Everything above, for printing. *)
+(** Everything above, for printing; fault counters are included only when
+    a fault was actually injected. *)
 
 val get : Vm.result -> string -> int
 (** Raw counter access. *)

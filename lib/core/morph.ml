@@ -18,13 +18,30 @@ let mem_banks = 4
 
 let desired ~qlen ~threshold = if qlen > threshold then `Trans else `Mem
 
+(* Fail-stopped tiles shrink what each configuration can actually get:
+   targets are clamped to the surviving slave pool and alive banks. *)
+let effective t =
+  let usable = Manager.usable_slaves t.manager in
+  let alive = Memsys.alive_banks t.memsys in
+  ( max 1 (min trans_slaves usable),
+    max 1 (min trans_banks (max 1 alive)),
+    max 1 (min mem_slaves usable),
+    max 1 (min mem_banks (max 1 alive)) )
+
 let current t =
-  if Manager.active_slaves t.manager >= trans_slaves then `Trans else `Mem
+  let ts, tb, ms, _ = effective t in
+  if ts = ms then
+    (* Slave targets coincide (heavy attrition): the bank count is the
+       only thing left to distinguish the two configurations. *)
+    if Memsys.active_banks t.memsys <= tb then `Trans else `Mem
+  else if Manager.active_slaves t.manager >= ts then `Trans
+  else `Mem
 
 let morph_to t target =
   t.morphing <- true;
   t.count <- t.count + 1;
   Stats.incr t.stats "morph.reconfigurations";
+  let ts, tb, ms, mb = effective t in
   let finished () =
     t.morphing <- false;
     t.last_morph <- Event_queue.now t.q
@@ -33,12 +50,12 @@ let morph_to t target =
   | `Trans ->
     (* Shrink the data cache first (flush + drain), then grow the slave
        pool with the freed tiles. *)
-    Memsys.reconfigure_banks t.memsys trans_banks ~on_done:(fun dirty ->
+    Memsys.reconfigure_banks t.memsys tb ~on_done:(fun dirty ->
         Stats.add t.stats "morph.writeback_lines" dirty;
-        Manager.set_active_slaves t.manager trans_slaves ~on_done:finished)
+        Manager.set_active_slaves t.manager ts ~on_done:finished)
   | `Mem ->
-    Manager.set_active_slaves t.manager mem_slaves ~on_done:(fun () ->
-        Memsys.reconfigure_banks t.memsys mem_banks ~on_done:(fun dirty ->
+    Manager.set_active_slaves t.manager ms ~on_done:(fun () ->
+        Memsys.reconfigure_banks t.memsys mb ~on_done:(fun dirty ->
             Stats.add t.stats "morph.writeback_lines" dirty;
             finished ()))
 
@@ -46,8 +63,13 @@ let sample t ~threshold ~dwell =
   if not t.morphing && Event_queue.now t.q - t.last_morph >= dwell then begin
     let qlen = Manager.queue_length t.manager in
     Stats.set_max t.stats "morph.max_sampled_queue" qlen;
-    let want = desired ~qlen ~threshold in
-    if want <> current t then morph_to t want
+    let ts, tb, ms, mb = effective t in
+    if ts = ms && tb = mb then ()
+      (* Attrition left nothing to trade between the two configurations. *)
+    else begin
+      let want = desired ~qlen ~threshold in
+      if want <> current t then morph_to t want
+    end
   end
 
 let create q stats cfg manager memsys =

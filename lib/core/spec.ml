@@ -108,6 +108,11 @@ let forget_done t addr =
 
 let is_known t addr = Hashtbl.mem t.status addr
 
+let is_done t addr =
+  match Hashtbl.find_opt t.status addr with
+  | Some Done -> true
+  | Some (Queued _ | In_flight) | None -> false
+
 let rec pop_queue t prio =
   if prio >= priorities then None
   else

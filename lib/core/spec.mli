@@ -41,6 +41,10 @@ val forget : t -> int -> unit
 val is_known : t -> int -> bool
 (** Queued, in flight, or done. *)
 
+val is_done : t -> int -> bool
+(** The address's block reached the L2 code cache (used by the
+    fault-recovery deadline on slave dispatch). *)
+
 val pop : t -> int option
 (** Highest-priority address to translate next; marks it in flight. *)
 

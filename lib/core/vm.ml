@@ -15,6 +15,7 @@ type instance = {
   i_manager : Manager.t;
   i_exec : Exec.t;
   i_memsys : Memsys.t;
+  i_layout : Layout.t;
 }
 
 let create ?input q stats cfg prog =
@@ -28,17 +29,129 @@ let create ?input q stats cfg prog =
     Memsys.create q stats cfg layout ~page_table:prog.Program.page_table
   in
   let exec = Exec.create q stats cfg layout prog ~manager ~memsys ?input () in
-  { i_manager = manager; i_exec = exec; i_memsys = memsys }
+  { i_manager = manager; i_exec = exec; i_memsys = memsys; i_layout = layout }
 
 let start t ~fuel ~on_finish = Exec.start t.i_exec ~fuel ~on_finish
 let manager_of t = t.i_manager
 let exec_of t = t.i_exec
 let memsys_of t = t.i_memsys
+let layout_of t = t.i_layout
 
-let run ?input ?(fuel = 50_000_000) ?(max_cycles = 2_000_000_000) cfg prog =
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fault_menu ?(recoverable_only = true) cfg =
+  let menu = ref [] in
+  let add role index kinds =
+    menu := ({ Fault.role; index }, Array.of_list kinds) :: !menu
+  in
+  let fs = Fault.Fail_stop in
+  let drop = Fault.Drop_requests 4 in
+  let slow = Fault.Slow { factor = 4; cycles = 20_000 } in
+  for i = 0 to cfg.Config.n_translators - 1 do
+    add "translator" i [ fs; slow ]
+  done;
+  for i = 0 to min 4 cfg.Config.n_l2d_banks - 1 do
+    add "l2d" i [ fs; drop; slow ]
+  done;
+  for i = 0 to cfg.Config.n_l15_banks - 1 do
+    add "l15" i [ fs; drop; slow ]
+  done;
+  add "manager" 0 [ drop; slow ];
+  add "mmu" 0 [ drop; slow ];
+  add "syscall" 0 [ slow ];
+  if not recoverable_only then begin
+    add "exec" 0 [ fs ];
+    add "manager" 0 [ fs ];
+    add "mmu" 0 [ fs ]
+  end;
+  Array.of_list (List.rev !menu)
+
+let apply_fault t stats (e : Fault.event) =
+  let m = t.i_manager and ms = t.i_memsys and x = t.i_exec in
+  let grid = Layout.grid t.i_layout in
+  let idx = e.site.index in
+  Stats.incr stats "fault.injected";
+  let unrecoverable what =
+    Stats.incr stats "fault.unrecoverable";
+    Exec.abort x (Printf.sprintf "unrecoverable fault: %s tile failed" what)
+  in
+  match (e.site.role, e.kind) with
+  | "translator", Fault.Fail_stop ->
+    Grid.fail_tile grid (Layout.pool t.i_layout (Manager.slave_pool_slot m idx));
+    Manager.fail_translator m idx
+  | "translator", Fault.Slow { factor; cycles } ->
+    Manager.slow_translator m idx ~factor ~cycles
+  | "translator", Fault.Drop_requests _ -> ()
+  | "l2d", Fault.Fail_stop ->
+    Grid.fail_tile grid (Layout.pool t.i_layout idx);
+    Memsys.fail_bank ms idx
+  | "l2d", Fault.Drop_requests n -> Memsys.bank_drop ms idx n
+  | "l2d", Fault.Slow { factor; cycles } -> Memsys.bank_slow ms idx ~factor ~cycles
+  | "l15", Fault.Fail_stop ->
+    Grid.fail_tile grid (Layout.l15_bank t.i_layout idx);
+    Manager.fail_l15_bank m idx
+  | "l15", Fault.Drop_requests n -> Manager.l15_drop m idx n
+  | "l15", Fault.Slow { factor; cycles } -> Manager.l15_slow m idx ~factor ~cycles
+  | "manager", Fault.Fail_stop -> unrecoverable "manager"
+  | "manager", Fault.Drop_requests n -> Manager.mgr_drop m n
+  | "manager", Fault.Slow { factor; cycles } -> Manager.mgr_slow m ~factor ~cycles
+  | "mmu", Fault.Fail_stop -> unrecoverable "MMU"
+  | "mmu", Fault.Drop_requests n -> Memsys.mmu_drop ms n
+  | "mmu", Fault.Slow { factor; cycles } -> Memsys.mmu_slow ms ~factor ~cycles
+  | "syscall", Fault.Slow { factor; cycles } -> Exec.slow_syscall x ~factor ~cycles
+  | "syscall", (Fault.Fail_stop | Fault.Drop_requests _) ->
+    (* A dead syscall proxy can swallow an exit in flight; treat it as the
+       unrecoverable loss it is rather than hang until the watchdog. *)
+    unrecoverable "syscall"
+  | "exec", _ -> unrecoverable "execution"
+  | role, _ -> invalid_arg ("Vm.apply_fault: unknown fault site " ^ role)
+
+let schedule_faults inst stats q plan =
+  List.iter
+    (fun (e : Fault.event) ->
+      Event_queue.schedule q ~at:e.at (fun () ->
+          if not (Exec.finished inst.i_exec) then apply_fault inst stats e))
+    (Fault.events plan)
+
+(* Forward-progress watchdog: with faults in play, an unanticipated hang
+   (a reply lost on a path without a deadline) must surface as a clean
+   diagnostic abort, never as a silent infinite simulation. *)
+let start_watchdog exec stats q ~stall_cycles =
+  let interval = max 1 (stall_cycles / 4) in
+  let last_insns = ref (-1) in
+  let last_progress = ref 0 in
+  let rec watch () =
+    if not (Exec.finished exec) then begin
+      let gi = Exec.guest_instructions exec in
+      let now = Event_queue.now q in
+      if gi <> !last_insns then begin
+        last_insns := gi;
+        last_progress := now
+      end;
+      if now - !last_progress >= stall_cycles then begin
+        Stats.incr stats "fault.watchdog_aborts";
+        Exec.abort exec
+          (Printf.sprintf
+             "watchdog: no guest instruction retired for %d cycles (stall \
+              limit %d)"
+             (now - !last_progress) stall_cycles)
+      end
+      else Event_queue.after q ~delay:interval watch
+    end
+  in
+  Event_queue.after q ~delay:interval watch
+
+let run ?input ?(fuel = 50_000_000) ?(max_cycles = 2_000_000_000)
+    ?(faults = Fault.empty) cfg prog =
   (match Config.validate cfg with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Vm.run: " ^ msg));
+  let cfg =
+    if Fault.is_empty faults || cfg.Config.fault_tolerance then cfg
+    else { cfg with Config.fault_tolerance = true }
+  in
   let q = Event_queue.create () in
   let stats = Stats.create () in
   let inst = create ?input q stats cfg prog in
@@ -46,6 +159,9 @@ let run ?input ?(fuel = 50_000_000) ?(max_cycles = 2_000_000_000) cfg prog =
   let memsys = inst.i_memsys in
   let exec = inst.i_exec in
   let morph = Morph.create q stats cfg manager memsys in
+  schedule_faults inst stats q faults;
+  if cfg.Config.fault_tolerance then
+    start_watchdog exec stats q ~stall_cycles:cfg.Config.watchdog_stall_cycles;
   let outcome = ref None in
   Exec.start exec ~fuel ~on_finish:(fun o -> outcome := Some o);
   let rec drive () =
@@ -65,6 +181,9 @@ let run ?input ?(fuel = 50_000_000) ?(max_cycles = 2_000_000_000) cfg prog =
   Stats.add stats "morph.count" (Morph.morphs morph);
   Stats.add stats "mmu.tlb_hits" (Memsys.tlb_hits memsys);
   Stats.add stats "mmu.tlb_misses" (Memsys.tlb_misses memsys);
+  Stats.add stats "fault.dropped_requests"
+    (Manager.dropped_requests manager + Memsys.dropped_requests memsys);
+  Stats.add stats "fault.failed_tiles" (Grid.failed_tiles (Layout.grid inst.i_layout));
   { outcome;
     cycles;
     guest_insns = Exec.guest_instructions exec;

@@ -20,11 +20,30 @@ type result = {
 }
 
 val run :
-  ?input:string -> ?fuel:int -> ?max_cycles:int -> Config.t -> Program.t ->
+  ?input:string -> ?fuel:int -> ?max_cycles:int -> ?faults:Fault.plan ->
+  Config.t -> Program.t ->
   result
 (** [fuel] defaults to 50M guest instructions; [max_cycles] (default 2G)
     is a safety net against runaway simulations. Raises
-    [Invalid_argument] if the configuration fails {!Config.validate}. *)
+    [Invalid_argument] if the configuration fails {!Config.validate}.
+
+    [faults] (default empty) is a deterministic fault plan: each event is
+    injected at its scheduled cycle, and a non-empty plan automatically
+    arms {!Config.t.fault_tolerance} (request deadlines, retries, the
+    degraded paths, and the forward-progress watchdog). Recoverable
+    faults change timing but never guest-visible semantics; unrecoverable
+    ones (exec/manager/MMU fail-stop) end the run with a clean [Fault]
+    outcome. The same plan and program reproduce byte-identical stats. *)
+
+val fault_menu :
+  ?recoverable_only:bool -> Config.t ->
+  (Fault.site * Fault.kind array) array
+(** The sites of a configuration paired with the fault kinds that make
+    sense for each, for {!Fault.random}. With [recoverable_only] (the
+    default) every listed fault preserves guest-visible semantics —
+    fail-stop translators / L2D banks / L1.5 banks, transient request
+    drops, and slow tiles; otherwise exec/manager/MMU fail-stops are
+    offered too. *)
 
 val slowdown : result -> piii_cycles:int -> float
 (** Paper metric: cycles on the translator / cycles on the Pentium III. *)
@@ -53,3 +72,4 @@ val start :
 val manager_of : instance -> Manager.t
 val exec_of : instance -> Exec.t
 val memsys_of : instance -> Memsys.t
+val layout_of : instance -> Layout.t

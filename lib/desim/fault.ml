@@ -1,0 +1,62 @@
+type kind =
+  | Fail_stop
+  | Drop_requests of int
+  | Slow of { factor : int; cycles : int }
+
+type site = { role : string; index : int }
+
+type event = { at : int; site : site; kind : kind }
+
+type plan = { seed : int; events : event list }
+
+let site ?(index = 0) role = { role; index }
+
+let empty = { seed = 0; events = [] }
+
+let is_empty p = p.events = []
+
+let compare_event a b =
+  match compare a.at b.at with 0 -> compare a.site b.site | c -> c
+
+let make ~seed events = { seed; events = List.stable_sort compare_event events }
+
+let seed p = p.seed
+let events p = p.events
+
+(* A fault plan is a pure function of (seed, horizon, menu, count): the
+   same arguments always produce the same schedule, which is what makes a
+   faulty run replayable from a single integer. *)
+let random ~seed ~horizon ~menu ~count =
+  if horizon <= 0 then invalid_arg "Fault.random: horizon must be positive";
+  if Array.length menu = 0 then { seed; events = [] }
+  else begin
+    let rng = Rng.create ~seed in
+    let events = ref [] in
+    for _ = 1 to count do
+      let at = Rng.int_in rng 1 horizon in
+      let s, kinds = Rng.pick rng menu in
+      let kind =
+        if Array.length kinds = 0 then Fail_stop else Rng.pick rng kinds
+      in
+      events := { at; site = s; kind } :: !events
+    done;
+    make ~seed (List.rev !events)
+  end
+
+let kind_to_string = function
+  | Fail_stop -> "fail-stop"
+  | Drop_requests n -> Printf.sprintf "drop-%d" n
+  | Slow { factor; cycles } -> Printf.sprintf "slow-x%d-for-%d" factor cycles
+
+let site_to_string s =
+  if s.index = 0 && not (String.contains s.role ':') then s.role
+  else Printf.sprintf "%s:%d" s.role s.index
+
+let event_to_string e =
+  Printf.sprintf "@%d %s %s" e.at (site_to_string e.site) (kind_to_string e.kind)
+
+let pp_event ppf e = Format.pp_print_string ppf (event_to_string e)
+
+let pp ppf p =
+  Format.fprintf ppf "plan(seed=%d)" p.seed;
+  List.iter (fun e -> Format.fprintf ppf " [%s]" (event_to_string e)) p.events

@@ -1,0 +1,52 @@
+(** Deterministic fault plans for the simulated fabric.
+
+    A plan is a cycle-ordered schedule of faults against named sites
+    (tiles or service centers); it carries the seed it was generated from,
+    so a faulty run is replayable bit-for-bit from a single integer. The
+    simulator layers above decide what each site name means and how the
+    system degrades — this module only describes {e what goes wrong when}.
+
+    Fault taxonomy:
+    - {!Fail_stop}: the site dies permanently; queued work is lost and new
+      requests are rejected. Callers observe silence, never an exception.
+    - {!Drop_requests}: transient — the next [n] requests arriving at the
+      site vanish (a lossy network / soft-error model).
+    - {!Slow}: the site serves at [1/factor] speed for [cycles] cycles (a
+      thermally-throttled or partially-failed tile). *)
+
+type kind =
+  | Fail_stop
+  | Drop_requests of int
+  | Slow of { factor : int; cycles : int }
+
+type site = { role : string; index : int }
+(** E.g. [{role = "translator"; index = 3}] or [{role = "manager"; index = 0}]. *)
+
+type event = { at : int; site : site; kind : kind }
+(** [at] is the injection cycle (event-queue time). *)
+
+type plan
+
+val site : ?index:int -> string -> site
+
+val empty : plan
+val is_empty : plan -> bool
+
+val make : seed:int -> event list -> plan
+(** Explicit plan; events are sorted by cycle (stable). *)
+
+val random :
+  seed:int -> horizon:int -> menu:(site * kind array) array -> count:int ->
+  plan
+(** [count] faults drawn uniformly over the [menu] of (site, allowed
+    kinds) at cycles in [1, horizon]. Pure: identical arguments yield the
+    identical plan. *)
+
+val seed : plan -> int
+val events : plan -> event list
+
+val kind_to_string : kind -> string
+val site_to_string : site -> string
+val event_to_string : event -> string
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> plan -> unit

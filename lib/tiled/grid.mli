@@ -26,5 +26,19 @@ val hops : coord -> coord -> int
 (** Manhattan distance. *)
 
 val message_latency : t -> src:coord -> dst:coord -> int
-(** inject(1) + 1 cycle/hop + eject(1) + header(1); a message to self costs
-    the header only. *)
+(** inject(1) + 1 cycle/hop + eject(1) + header(1) + detours around failed
+    tiles; a message to self costs the header only. *)
+
+(** {2 Degraded state}
+
+    A failed tile stops routing through itself: any message whose XY route
+    crosses it pays a two-hop detour. What a failed tile means for the
+    {e role} it was playing is the owning layer's business. *)
+
+val fail_tile : t -> coord -> unit
+val tile_failed : t -> coord -> bool
+val failed_tiles : t -> int
+
+val detour_penalty : t -> src:coord -> dst:coord -> int
+(** Extra cycles the XY route from [src] to [dst] pays for failed tiles on
+    its interior (the corner tile included). Zero when no tile failed. *)

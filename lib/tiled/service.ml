@@ -10,6 +10,12 @@ type 'req t = {
   mutable busy_cycles : int;
   mutable served : int;
   mutable waiters : (unit -> unit) list;
+  mutable failed : bool;
+  mutable slow_factor : int;
+  mutable slow_until : int;
+  mutable drop_budget : int;
+  mutable dropped : int;
+  mutable on_reject : ('req -> unit) option;
 }
 
 let create q ~name ~serve =
@@ -21,7 +27,13 @@ let create q ~name ~serve =
     paused = false;
     busy_cycles = 0;
     served = 0;
-    waiters = [] }
+    waiters = [];
+    failed = false;
+    slow_factor = 1;
+    slow_until = 0;
+    drop_budget = 0;
+    dropped = 0;
+    on_reject = None }
 
 (* "Idle" for drain purposes: nothing in service, and nothing startable
    (a paused service with queued work counts as drained — the queue will
@@ -36,24 +48,48 @@ let notify_if_idle t =
   end
 
 let rec start_next t =
-  if (not t.in_service) && (not t.paused) && not (Queue.is_empty t.pending)
+  if (not t.in_service) && (not t.paused) && (not t.failed)
+     && not (Queue.is_empty t.pending)
   then begin
     let req = Queue.pop t.pending in
     let occupancy, on_complete = t.serve req in
+    let occupancy =
+      if t.slow_factor > 1 && Event_queue.now t.q < t.slow_until then
+        occupancy * t.slow_factor
+      else occupancy
+    in
     t.in_service <- true;
     t.busy_cycles <- t.busy_cycles + occupancy;
     Event_queue.after t.q ~delay:(max 1 occupancy) (fun () ->
         t.in_service <- false;
-        t.served <- t.served + 1;
-        on_complete ();
-        start_next t;
-        notify_if_idle t)
+        if t.failed then begin
+          (* The tile died mid-service: the reply is never sent. *)
+          t.dropped <- t.dropped + 1;
+          notify_if_idle t
+        end
+        else begin
+          t.served <- t.served + 1;
+          on_complete ();
+          start_next t;
+          notify_if_idle t
+        end)
   end
 
 let submit t ~delay req =
   Event_queue.after t.q ~delay:(max 0 delay) (fun () ->
-      Queue.push req t.pending;
-      start_next t)
+      if t.failed then begin
+        t.dropped <- t.dropped + 1;
+        match t.on_reject with Some f -> f req | None -> ()
+      end
+      else if t.drop_budget > 0 then begin
+        (* Transient loss: the request vanishes in flight. *)
+        t.drop_budget <- t.drop_budget - 1;
+        t.dropped <- t.dropped + 1
+      end
+      else begin
+        Queue.push req t.pending;
+        start_next t
+      end)
 
 let queue_length t = Queue.length t.pending + if t.in_service then 1 else 0
 let busy_cycles t = t.busy_cycles
@@ -65,3 +101,33 @@ let drain_then t action =
 let set_paused t paused =
   t.paused <- paused;
   if not paused then start_next t
+
+(* ------------------------------------------------------------------ *)
+(* Fault state                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fail t =
+  t.failed <- true;
+  let orphans = List.of_seq (Queue.to_seq t.pending) in
+  Queue.clear t.pending;
+  t.dropped <- t.dropped + List.length orphans;
+  notify_if_idle t;
+  orphans
+
+let failed t = t.failed
+
+let slow t ~factor ~cycles =
+  if factor <= 1 then begin
+    t.slow_factor <- 1;
+    t.slow_until <- 0
+  end
+  else begin
+    t.slow_factor <- factor;
+    t.slow_until <- Event_queue.now t.q + max 0 cycles
+  end
+
+let drop_next t n = if n > 0 then t.drop_budget <- t.drop_budget + n
+
+let dropped t = t.dropped
+
+let set_reject_handler t f = t.on_reject <- Some f

@@ -38,3 +38,32 @@ val set_paused : _ t -> bool -> unit
 (** A paused service accepts and queues requests but does not start
     serving new ones (in-flight service completes). Used while a tile's
     role is being morphed. *)
+
+(** {2 Fault state}
+
+    A service never raises on a fault — failure manifests to callers as
+    silence (a reply that does not arrive), which upper layers detect via
+    deadlines and a watchdog. *)
+
+val fail : 'req t -> 'req list
+(** Fail-stop: permanently kill the tile. Queued requests are dropped and
+    returned (so a caller can re-route them); a request in service is
+    abandoned mid-flight — its reply is never sent; future arrivals are
+    rejected. *)
+
+val failed : _ t -> bool
+
+val slow : _ t -> factor:int -> cycles:int -> unit
+(** Multiply service occupancy by [factor] for the next [cycles] cycles
+    (a degraded, not dead, tile). [factor <= 1] restores nominal speed. *)
+
+val drop_next : _ t -> int -> unit
+(** Transient fault: silently lose the next [n] requests that arrive. *)
+
+val dropped : _ t -> int
+(** Total requests lost to faults (queued at fail-stop, abandoned in
+    service, rejected after failure, or transiently dropped). *)
+
+val set_reject_handler : 'req t -> ('req -> unit) -> unit
+(** Called (at arrival time) for each request arriving at a failed
+    service; lets an owner re-route traffic to surviving tiles. *)

@@ -15,4 +15,5 @@ let () =
       ("translator-equivalence", Test_equiv.suite);
       ("virtual-machine", Test_vm.suite);
       ("fabric", Test_fabric.suite);
+      ("faults", Test_faults.suite);
       ("workloads", Test_workloads.suite) ]
