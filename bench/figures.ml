@@ -16,6 +16,21 @@ let morph_cfg ?(threshold = 15) () =
   { (Config.mem_heavy Config.default) with
     morph = Config.Morph { threshold; dwell = 25000 } }
 
+(* Per-benchmark translation memos: every cell of a config sweep over one
+   benchmark retranslates the same guest blocks, so cells share a keyed
+   memo (see Translate.Memo — sound across configs and domains, and
+   invisible in modelled timing). Created on the main domain only; worker
+   tasks capture their handle before the pool launches. *)
+let memos : (string, Translate.Memo.t) Hashtbl.t = Hashtbl.create 16
+
+let memo_for (b : Suite.benchmark) =
+  match Hashtbl.find_opt memos b.name with
+  | Some m -> m
+  | None ->
+    let m = Translate.Memo.create () in
+    Hashtbl.add memos b.name m;
+    m
+
 (* PIII reference cycles, computed once per benchmark. *)
 let piii_cache : (string, int) Hashtbl.t = Hashtbl.create 16
 
@@ -31,18 +46,23 @@ let piii_cycles (b : Suite.benchmark) =
     r.cycles
 
 (* VM results, memoized per (benchmark, config-key) so figures sharing
-   configurations (5/6/7, 9/10) reuse runs. *)
+   configurations (5/6/7, 9/10) reuse runs. Normally prefilled in
+   parallel by [run_all]; the compute-on-miss path below is the
+   sequential fallback and produces identical results. *)
 let run_cache : (string * string, Vm.result) Hashtbl.t = Hashtbl.create 64
+
+let check_outcome key (b : Suite.benchmark) (r : Vm.result) =
+  match r.outcome with
+  | Exec.Exited _ -> ()
+  | Exec.Fault m -> failwith (Printf.sprintf "%s/%s faulted: %s" b.name key m)
+  | Exec.Out_of_fuel -> failwith (b.name ^ "/" ^ key ^ ": out of fuel")
 
 let run_vm ?(faults = Fault.empty) key (b : Suite.benchmark) cfg =
   match Hashtbl.find_opt run_cache (b.name, key) with
   | Some r -> r
   | None ->
-    let r = Vm.run ~fuel ~faults cfg (Suite.load b) in
-    (match r.outcome with
-     | Exec.Exited _ -> ()
-     | Exec.Fault m -> failwith (Printf.sprintf "%s/%s faulted: %s" b.name key m)
-     | Exec.Out_of_fuel -> failwith (b.name ^ "/" ^ key ^ ": out of fuel"));
+    let r = Vm.run ~fuel ~faults ~memo:(memo_for b) cfg (Suite.load b) in
+    check_outcome key b r;
     Hashtbl.replace run_cache (b.name, key) r;
     r
 
@@ -278,21 +298,36 @@ let ablations () =
 (* Fabric sharing (Section 5 future work, implemented)                 *)
 (* ------------------------------------------------------------------ *)
 
+let fabric_pairs = [ ("gcc", "gzip"); ("vpr", "parser") ]
+
+let fabric_policies =
+  [ ("static", Fabric.Static (3, 3)); ("shared", Fabric.Shared { dwell = 20000 }) ]
+
+let fabric_cache : (string, Fabric.result) Hashtbl.t = Hashtbl.create 8
+
+let fabric_key (na, nb) pname = na ^ "+" ^ nb ^ "/" ^ pname
+
+let fabric_run pair pname =
+  let key = fabric_key pair pname in
+  match Hashtbl.find_opt fabric_cache key with
+  | Some r -> r
+  | None ->
+    let na, nb = pair in
+    let load n = Suite.load (Suite.find n) in
+    let r =
+      Fabric.run ~policy:(List.assoc pname fabric_policies) (load na, na)
+        (load nb, nb)
+    in
+    Hashtbl.replace fabric_cache key r;
+    r
+
 let fabric () =
   Printf.printf
     "\nFabric sharing (paper Section 5): two guests on one fabric, static vs dynamic tile split\n";
-  let pairs = [ ("gcc", "gzip"); ("vpr", "parser") ] in
   List.iter
-    (fun (na, nb) ->
-      let load n = Suite.load (Suite.find n) in
-      let s =
-        Fabric.run ~policy:(Fabric.Static (3, 3)) (load na, na) (load nb, nb)
-      in
-      let d =
-        Fabric.run
-          ~policy:(Fabric.Shared { dwell = 20000 })
-          (load na, na) (load nb, nb)
-      in
+    (fun ((na, nb) as pair) ->
+      let s = fabric_run pair "static" in
+      let d = fabric_run pair "shared" in
       Printf.printf
         "%s + %s: static makespan %d, shared makespan %d (%+.2f%%), %d trades\n"
         na nb s.makespan d.makespan
@@ -300,7 +335,7 @@ let fabric () =
          *. (float_of_int s.makespan -. float_of_int d.makespan)
          /. float_of_int s.makespan)
         d.trades)
-    pairs
+    fabric_pairs
 
 (* ------------------------------------------------------------------ *)
 (* Fault tolerance: degradation under injected tile failures           *)
@@ -366,3 +401,182 @@ let all_figures =
     ("ablations", ablations);
     ("fabric", fabric);
     ("faults", faults) ]
+
+(* ------------------------------------------------------------------ *)
+(* Experiment planning and the parallel runner                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every figure is a render function over a set of independent
+   deterministic simulation cells. [cells_for] names each figure's cells;
+   [run_all] fans the not-yet-cached ones out over a Pool, publishes the
+   results into the caches (main domain only — workers share no mutable
+   state beyond the mutex-guarded translation memos), and only then lets
+   the figure print. Output is therefore byte-identical for any --jobs. *)
+
+type cell =
+  | C_run of {
+      rkey : string;
+      bench : Suite.benchmark;
+      cfg : Config.t;
+      cfaults : Fault.plan;
+    }
+  | C_piii of Suite.benchmark
+  | C_fabric of { pair : string * string; pname : string }
+
+let cell_id = function
+  | C_run { rkey; bench; _ } -> bench.Suite.name ^ "/" ^ rkey
+  | C_piii b -> "piii/" ^ b.Suite.name
+  | C_fabric { pair; pname } -> "fabric/" ^ fabric_key pair pname
+
+let cell_cached = function
+  | C_run { rkey; bench; _ } -> Hashtbl.mem run_cache (bench.Suite.name, rkey)
+  | C_piii b -> Hashtbl.mem piii_cache b.Suite.name
+  | C_fabric { pair; pname } -> Hashtbl.mem fabric_cache (fabric_key pair pname)
+
+let grid prefix configs =
+  List.concat_map
+    (fun b ->
+      List.map
+        (fun (k, cfg) ->
+          C_run { rkey = prefix ^ k; bench = b; cfg; cfaults = Fault.empty })
+        configs)
+    benchmarks
+
+let piii_cells bs = List.map (fun b -> C_piii b) bs
+
+let cells_for = function
+  | "fig4" -> grid "fig4-" fig4_configs @ piii_cells benchmarks
+  | "fig5" -> grid "fig5-" fig5_configs @ piii_cells benchmarks
+  | "fig6" | "fig7" -> grid "fig5-" fig5_configs
+  | "fig8" ->
+    grid "fig8-" [ ("off", { (morph_cfg ()) with optimize = false }) ]
+    @ grid "fig8-" [ ("on", morph_cfg ()) ]
+    @ piii_cells benchmarks
+  | "fig9" -> grid "fig9-" fig9_configs @ piii_cells benchmarks
+  | "fig10" -> grid "fig9-" fig9_configs
+  | "analysis" ->
+    grid "fig5-" [ ("spec-6", List.assoc "spec-6" fig5_configs) ]
+    @ piii_cells benchmarks
+  | "ablations" -> grid "abl-" ablation_configs @ piii_cells benchmarks
+  | "fabric" ->
+    List.concat_map
+      (fun pair ->
+        List.map (fun (pname, _) -> C_fabric { pair; pname }) fabric_policies)
+      fabric_pairs
+  | "faults" ->
+    let cfg = Config.default in
+    List.concat_map
+      (fun b ->
+        List.map
+          (fun n ->
+            C_run
+              { rkey = Printf.sprintf "faults-%d" n;
+                bench = b;
+                cfg;
+                cfaults = fault_plan cfg n })
+          fault_counts)
+      (fault_benchmarks ())
+    @ piii_cells (fault_benchmarks ())
+  | "fig11" -> []
+  | name -> invalid_arg ("Figures.cells_for: unknown figure " ^ name)
+
+(* Build the worker task for a cell, on the main domain (memo handles are
+   created here, pre-pool). The task runs on a worker and returns a
+   publisher closure; publishers run back on the main domain, in
+   submission order, and return the cell's simulated guest instructions
+   (the BENCH.json throughput numerator). *)
+let compute_cell cell : unit -> unit -> int =
+  match cell with
+  | C_run { rkey; bench; cfg; cfaults } ->
+    let memo = memo_for bench in
+    fun () ->
+      let r = Vm.run ~fuel ~faults:cfaults ~memo cfg (Suite.load bench) in
+      fun () ->
+        check_outcome rkey bench r;
+        Hashtbl.replace run_cache (bench.Suite.name, rkey) r;
+        r.Vm.guest_insns
+  | C_piii b ->
+    fun () ->
+      let r = Vat_refmodel.Piii.run (Suite.load b) in
+      fun () ->
+        (match r.outcome with
+         | Vat_guest.Interp.Exited _ -> ()
+         | _ -> failwith (b.Suite.name ^ ": reference run did not exit"));
+        Hashtbl.replace piii_cache b.Suite.name r.cycles;
+        r.instructions
+  | C_fabric { pair; pname } ->
+    fun () ->
+      let na, nb = pair in
+      let load n = Suite.load (Suite.find n) in
+      let r =
+        Fabric.run ~policy:(List.assoc pname fabric_policies) (load na, na)
+          (load nb, nb)
+      in
+      fun () ->
+        Hashtbl.replace fabric_cache (fabric_key pair pname) r;
+        r.Fabric.a.guest_insns + r.Fabric.b.guest_insns
+
+let dedup_cells cells =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun c ->
+      let id = cell_id c in
+      if Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.add seen id ();
+        true
+      end)
+    cells
+
+type fig_timing = { fig : string; wall_ms : float; fig_guest_insns : int }
+
+let write_json path ~jobs ~total_wall_s ~total_insns timings =
+  let oc = open_out path in
+  let insns_per_sec =
+    if total_wall_s > 0. then float_of_int total_insns /. total_wall_s else 0.
+  in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"vat-bench/1\",\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"total_wall_ms\": %.1f,\n" (total_wall_s *. 1000.);
+  Printf.fprintf oc "  \"total_guest_insns\": %d,\n" total_insns;
+  Printf.fprintf oc "  \"guest_insns_per_sec\": %.0f,\n" insns_per_sec;
+  Printf.fprintf oc "  \"figures\": [\n";
+  List.iteri
+    (fun i t ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"wall_ms\": %.1f, \"guest_insns\": %d }%s\n"
+        t.fig t.wall_ms t.fig_guest_insns
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%.1fs wall, %d guest insns, %.0f guest-insns/s, %d jobs)\n"
+    path total_wall_s total_insns insns_per_sec jobs
+
+(* Run the selected figures: per figure, prefill its missing cells in
+   parallel, then render. [json_file] records the perf trajectory. *)
+let run_all ~jobs ~json_file wanted =
+  let t0_all = Unix.gettimeofday () in
+  let timings = ref [] in
+  let total_insns = ref 0 in
+  List.iter
+    (fun (name, render) ->
+      let t0 = Unix.gettimeofday () in
+      let fresh =
+        dedup_cells (List.filter (fun c -> not (cell_cached c)) (cells_for name))
+      in
+      let tasks = List.map compute_cell fresh in
+      let publishers = Pool.run ~jobs tasks in
+      let insns = List.fold_left (fun acc p -> acc + p ()) 0 publishers in
+      render ();
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      total_insns := !total_insns + insns;
+      timings := { fig = name; wall_ms; fig_guest_insns = insns } :: !timings)
+    wanted;
+  let total_wall_s = Unix.gettimeofday () -. t0_all in
+  match json_file with
+  | None -> ()
+  | Some path ->
+    write_json path ~jobs ~total_wall_s ~total_insns:!total_insns
+      (List.rev !timings)

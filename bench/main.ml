@@ -2,21 +2,29 @@
    evaluation (CGO 2006, Section 4) and runs the Bechamel microbenchmarks.
 
    Usage:
-     dune exec bench/main.exe                 # everything
-     dune exec bench/main.exe -- --only fig5  # one figure
-     dune exec bench/main.exe -- --list       # available figures
-     dune exec bench/main.exe -- --no-micro   # skip Bechamel *)
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe -- --only fig5   # one figure
+     dune exec bench/main.exe -- --list        # available figures
+     dune exec bench/main.exe -- --no-micro    # skip Bechamel
+     dune exec bench/main.exe -- --jobs 4      # worker domains (default: cores)
+     dune exec bench/main.exe -- --json F.json # machine-readable timings *)
 
 let () =
   let only = ref [] in
   let micro = ref true in
   let list = ref false in
+  let jobs = ref (Vat_desim.Pool.cpu_count ()) in
+  let json = ref None in
   let args =
     [ ("--only", Arg.String (fun s -> only := s :: !only),
        "FIG run only this figure (repeatable): fig4..fig11, analysis");
       ("--no-micro", Arg.Clear micro, " skip the Bechamel microbenchmarks");
       ("--micro-only", Arg.Unit (fun () -> only := [ "none" ]),
        " run only the microbenchmarks");
+      ("--jobs", Arg.Set_int jobs,
+       "N simulation worker domains (default: CPU count; 1 = sequential)");
+      ("--json", Arg.String (fun f -> json := Some f),
+       "FILE write per-figure wall-clock and throughput as JSON");
       ("--list", Arg.Set list, " list available figures") ]
   in
   Arg.parse args
@@ -37,5 +45,5 @@ let () =
      experiment reproduction";
   print_endline
     "slowdown = cycles(parallel DBT on tiled host) / cycles(Pentium III model)";
-  List.iter (fun (_, f) -> f ()) wanted;
+  Figures.run_all ~jobs:!jobs ~json_file:!json wanted;
   if !micro then Micro.run ()

@@ -111,10 +111,68 @@ let bench_event_queue =
          done;
          Event_queue.run q))
 
+(* Hot-path kernels the PR 2 overhaul targets. *)
+
+(* Schedule/pop interleaved at a steady queue depth — the engine's
+   per-message pattern, as opposed to the fill-then-drain case above. *)
+let bench_eq_churn =
+  Test.make ~name:"desim-event-queue-churn-1k"
+    (Staged.stage (fun () ->
+         let q = Event_queue.create () in
+         for i = 1 to 64 do
+           Event_queue.schedule q ~at:i ignore
+         done;
+         for i = 1 to 1000 do
+           Event_queue.schedule q ~at:(Event_queue.now q + 64 + (i land 7)) ignore;
+           ignore (Event_queue.step q)
+         done))
+
+(* The engine's per-instruction scoreboard test: one [land] against the
+   precomputed use mask (plus the bit walk when a stall is charged). *)
+let bench_scoreboard =
+  Test.make ~name:"exec-scoreboard-check"
+    (Staged.stage
+       (let entry =
+          lazy
+            (let l1 = Code_cache.L1.create ~capacity:(1 lsl 16) in
+             Code_cache.L1.install l1 (Lazy.force sample_block))
+        in
+        fun () ->
+          let entry = Lazy.force entry in
+          let pending = 1 lsl 7 in
+          let hits = ref 0 in
+          for i = 0 to Array.length entry.Code_cache.L1.use_masks - 1 do
+            if entry.Code_cache.L1.use_masks.(i) land pending <> 0 then incr hits
+          done;
+          ignore !hits))
+
+(* The translation memo's hit path: key build, lookup, generation
+   revalidation — what a config-sweep cell pays instead of retranslating. *)
+let bench_memo_hit =
+  Test.make ~name:"translate-memo-hit"
+    (Staged.stage
+       (let state =
+          lazy
+            (let prog = Lazy.force sample_program in
+             let memo = Translate.Memo.create () in
+             let fetch = Mem.read_u8 prog.Program.mem in
+             let page_gen ~page = Mem.page_generation prog.Program.mem ~page in
+             ignore
+               (Translate.translate_memo ~memo sample_block_cfg ~fetch
+                  ~page_gen ~guest_addr:prog.Program.entry);
+             (memo, fetch, page_gen, prog.Program.entry))
+        in
+        fun () ->
+          let memo, fetch, page_gen, entry = Lazy.force state in
+          ignore
+            (Translate.translate_memo ~memo sample_block_cfg ~fetch ~page_gen
+               ~guest_addr:entry)))
+
 let tests =
   Test.make_grouped ~name:"vat"
     [ bench_l15; bench_spec; bench_l2code; bench_opt; bench_flush;
-      bench_cache; bench_analysis; bench_interp; bench_event_queue ]
+      bench_cache; bench_analysis; bench_interp; bench_event_queue;
+      bench_eq_churn; bench_scoreboard; bench_memo_hit ]
 
 (* Run every microbenchmark briefly and print an estimated ns/run. *)
 let run () =

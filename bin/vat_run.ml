@@ -39,9 +39,13 @@ let fault_plan cfg ~faults ~seed =
     Vat_desim.Fault.random ~seed ~horizon:400_000 ~menu:(Vm.fault_menu cfg)
       ~count:faults
 
-let run_one cfg show_stats plan (b : Suite.benchmark) =
+let compute_one cfg plan (b : Suite.benchmark) =
   let piii = Vat_refmodel.Piii.run (Suite.load b) in
   let rv = Vm.run ~fuel:100_000_000 ~faults:plan cfg (Suite.load b) in
+  (piii, rv)
+
+let print_one show_stats (b : Suite.benchmark)
+    ((piii : Vat_refmodel.Piii.result), (rv : Vm.result)) =
   let outcome =
     match rv.outcome with
     | Exec.Exited n -> Printf.sprintf "exit %d" n
@@ -66,8 +70,10 @@ let run_one cfg show_stats plan (b : Suite.benchmark) =
     Format.printf "%a" Vat_desim.Stats.pp rv.stats
   end
 
+let run_one cfg show_stats plan b = print_one show_stats b (compute_one cfg plan b)
+
 let main list_benches bench base translators banks l15 no_spec no_opt no_chain
-    morph show_stats faults fault_seed =
+    morph show_stats faults fault_seed jobs =
   if list_benches then begin
     List.iter
       (fun (b : Suite.benchmark) ->
@@ -95,7 +101,12 @@ let main list_benches bench base translators banks l15 no_spec no_opt no_chain
           | exception Not_found ->
             `Error (false, "unknown benchmark " ^ name ^ " (try --list)"))
         | None ->
-          List.iter (run_one cfg show_stats plan) Suite.all;
+          (* Whole-suite sweep: simulate in parallel, print in order. *)
+          let benches = Array.of_list Suite.all in
+          let results =
+            Vat_desim.Pool.map ~jobs (compute_one cfg plan) benches
+          in
+          Array.iteri (fun i r -> print_one show_stats benches.(i) r) results;
           `Ok ()))
 
 let cmd =
@@ -170,11 +181,21 @@ let cmd =
       & info [ "fault-seed" ] ~docv:"SEED"
           ~doc:"Seed for the fault plan; same seed replays the same faults.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Vat_desim.Pool.cpu_count ())
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for whole-suite runs (default: CPU count; 1 = \
+             sequential). Results are identical for any value.")
+  in
   let term =
     Term.(
       ret
         (const main $ list_flag $ bench $ base $ translators $ banks $ l15
-        $ no_spec $ no_opt $ no_chain $ morph $ stats $ faults $ fault_seed))
+        $ no_spec $ no_opt $ no_chain $ morph $ stats $ faults $ fault_seed
+        $ jobs))
   in
   Cmd.v
     (Cmd.info "vat_run" ~version:"1.0"

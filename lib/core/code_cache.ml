@@ -1,6 +1,8 @@
 module L1 = struct
   type entry = {
     block : Block.t;
+    use_masks : int array;
+    def_masks : int array;
     mutable chain_taken : entry option;
     mutable chain_fall : entry option;
   }
@@ -26,7 +28,13 @@ module L1 = struct
   let install t (block : Block.t) =
     let size = Block.size_bytes block in
     if t.used + size > t.capacity then flush t;
-    let entry = { block; chain_taken = None; chain_fall = None } in
+    let entry =
+      { block;
+        use_masks = Array.map Vat_host.Hinsn.use_mask block.code;
+        def_masks = Array.map Vat_host.Hinsn.def_mask block.code;
+        chain_taken = None;
+        chain_fall = None }
+    in
     Hashtbl.replace t.table block.guest_addr entry;
     t.used <- t.used + size;
     t.installs <- t.installs + 1;

@@ -14,6 +14,11 @@
 module L1 : sig
   type entry = {
     block : Block.t;
+    use_masks : int array;
+    def_masks : int array;
+        (** Per-instruction {!Vat_host.Hinsn.use_mask}/[def_mask], computed
+            once at install so the engine's scoreboard does [land] tests
+            per step instead of allocating register lists. *)
     mutable chain_taken : entry option;
     mutable chain_fall : entry option;
   }

@@ -28,9 +28,32 @@ type wait_state =
   | Wait_syscall
   | Finished
 
+(* Pre-resolved stat counters for the per-instruction / per-event paths:
+   one hashtable probe at engine construction, a bare ref bump per event. *)
+type counters = {
+  c_scoreboard_suspends : Stats.counter;
+  c_stall_cycles : Stats.counter;
+  c_capacity_suspends : Stats.counter;
+  c_l1d_loads : Stats.counter;
+  c_l1d_load_misses : Stats.counter;
+  c_l1d_stores : Stats.counter;
+  c_l1d_store_misses : Stats.counter;
+  c_l1d_writebacks : Stats.counter;
+  c_smc_invalidations : Stats.counter;
+  c_indirect_transfers : Stats.counter;
+  c_chained_transfers : Stats.counter;
+  c_dispatches : Stats.counter;
+  c_l1code_hits : Stats.counter;
+  c_l1code_misses : Stats.counter;
+  c_l1code_installs : Stats.counter;
+  c_blocks : Stats.counter;
+  c_syscalls : Stats.counter;
+}
+
 type t = {
   q : Event_queue.t;
   stats : Stats.t;
+  k : counters;
   cfg : Config.t;
   layout : Layout.t;
   prog : Program.t;
@@ -44,6 +67,7 @@ type t = {
   l1 : Code_cache.L1.t;
   l1d : Cache.t;
   syscall_svc : syscall_req Service.t;
+  mutable pending_mask : int;  (* bit r <-> pending.(r); scoreboard fast path *)
   mutable t_local : int;
   mutable outstanding : int;
   mutable entry : Code_cache.L1.entry option;
@@ -79,6 +103,24 @@ let create q stats cfg layout prog ~manager ~memsys ?input () =
   in
   { q;
     stats;
+    k =
+      { c_scoreboard_suspends = Stats.counter stats "exec.scoreboard_suspends";
+        c_stall_cycles = Stats.counter stats "exec.stall_cycles";
+        c_capacity_suspends = Stats.counter stats "exec.capacity_suspends";
+        c_l1d_loads = Stats.counter stats "l1d.loads";
+        c_l1d_load_misses = Stats.counter stats "l1d.load_misses";
+        c_l1d_stores = Stats.counter stats "l1d.stores";
+        c_l1d_store_misses = Stats.counter stats "l1d.store_misses";
+        c_l1d_writebacks = Stats.counter stats "l1d.writebacks";
+        c_smc_invalidations = Stats.counter stats "smc.invalidations";
+        c_indirect_transfers = Stats.counter stats "exec.indirect_transfers";
+        c_chained_transfers = Stats.counter stats "exec.chained_transfers";
+        c_dispatches = Stats.counter stats "exec.dispatches";
+        c_l1code_hits = Stats.counter stats "l1code.hits";
+        c_l1code_misses = Stats.counter stats "l1code.misses";
+        c_l1code_installs = Stats.counter stats "l1code.installs";
+        c_blocks = Stats.counter stats "exec.blocks";
+        c_syscalls = Stats.counter stats "exec.syscalls" };
     cfg;
     layout;
     prog;
@@ -94,6 +136,7 @@ let create q stats cfg layout prog ~manager ~memsys ?input () =
       Cache.create ~name:"l1d" ~size_bytes:cfg.Config.l1d_bytes
         ~ways:cfg.Config.l1d_ways ~line_bytes:cfg.Config.line_bytes;
     syscall_svc;
+    pending_mask = 0;
     t_local = 0;
     outstanding = 0;
     entry = None;
@@ -185,6 +228,24 @@ let trap_message : Hinsn.trap -> string = function
   | Divide_error -> "divide error"
   | Divide_overflow -> "divide overflow"
 
+(* Non-memory instructions never touch memory; one shared record instead of
+   a fresh closure pair per executed instruction. *)
+let dummy_mem : Hexec.mem_access =
+  { load = (fun _ _ -> assert false); store = (fun _ _ _ -> assert false) }
+
+(* Index of the lowest set bit. Register masks carry at most a handful of
+   bits below 32, so the shift cascade runs its first two tests only. *)
+let ctz m =
+  let m = m land -m in
+  let n = ref 0 in
+  let m = ref m in
+  if !m land 0xFFFF = 0 then begin n := 16; m := !m lsr 16 end;
+  if !m land 0xFF = 0 then begin n := !n + 8; m := !m lsr 8 end;
+  if !m land 0xF = 0 then begin n := !n + 4; m := !m lsr 4 end;
+  if !m land 0x3 = 0 then begin n := !n + 2; m := !m lsr 2 end;
+  if !m land 0x1 = 0 then incr n;
+  !n
+
 let rec step t =
   match t.entry with
   | None -> ()
@@ -194,25 +255,26 @@ let rec step t =
     if t.pc >= len then terminator t entry
     else begin
       let insn = code.(t.pc) in
-      (* Scoreboard: stall (or suspend) until source registers are ready. *)
-      match pending_use t insn with
-      | Some r ->
-        t.wait <- Wait_reg (r, t.pc);
-        Stats.incr t.stats "exec.scoreboard_suspends"
-      | None ->
-        stall_to_ready t insn;
+      (* Scoreboard: stall (or suspend) until source registers are ready.
+         The per-step check is one [land] against the install-time use
+         mask; the list walk below survives only on the suspend path. *)
+      if entry.use_masks.(t.pc) land t.pending_mask <> 0 then begin
+        match pending_use t insn with
+        | Some r ->
+          t.wait <- Wait_reg (r, t.pc);
+          Stats.bump t.k.c_scoreboard_suspends
+        | None -> assert false
+      end
+      else begin
+        stall_to_ready t entry.use_masks.(t.pc);
         (match insn with
          | Load (w, rd, base, off) -> exec_load t insn w rd base off
          | Store (w, rv, base, off) -> exec_store t w rv base off
          | _ -> begin
-           let dummy_mem : Hexec.mem_access =
-             { load = (fun _ _ -> assert false);
-               store = (fun _ _ _ -> assert false) }
-           in
            match Hexec.step ~regs:t.regs ~mem:dummy_mem insn with
            | Hexec.Next ->
              t.t_local <- t.t_local + 1 + insn_extra_cost insn;
-             set_ready t insn;
+             set_ready t entry.def_masks.(t.pc);
              t.pc <- t.pc + 1;
              step t
            | Hexec.Goto target ->
@@ -221,6 +283,7 @@ let rec step t =
              step t
            | Hexec.Trapped trap -> finish t (Fault (trap_message trap))
          end)
+      end
     end
 
 and pending_use t insn =
@@ -230,17 +293,24 @@ and pending_use t insn =
   in
   first (Hinsn.uses insn)
 
-and stall_to_ready t insn =
-  List.iter
-    (fun r ->
-      if r <> 0 && t.ready_at.(r) > t.t_local then begin
-        Stats.add t.stats "exec.stall_cycles" (t.ready_at.(r) - t.t_local);
-        t.t_local <- t.ready_at.(r)
-      end)
-    (Hinsn.uses insn)
+and stall_to_ready t mask =
+  let m = ref mask in
+  while !m <> 0 do
+    let r = ctz !m in
+    m := !m land (!m - 1);
+    if t.ready_at.(r) > t.t_local then begin
+      Stats.bump_by t.k.c_stall_cycles (t.ready_at.(r) - t.t_local);
+      t.t_local <- t.ready_at.(r)
+    end
+  done
 
-and set_ready t insn =
-  List.iter (fun r -> if r <> 0 then t.ready_at.(r) <- t.t_local) (Hinsn.defs insn)
+and set_ready t mask =
+  let m = ref mask in
+  while !m <> 0 do
+    let r = ctz !m in
+    m := !m land (!m - 1);
+    t.ready_at.(r) <- t.t_local
+  done
 
 and exec_load t insn w rd base off =
   let addr = (t.regs.(base) + off) land 0xFFFFFFFF in
@@ -261,7 +331,7 @@ and exec_load t insn w rd base off =
     match value_load t w addr with
     | exception Guest_mem_fault msg -> finish t (Fault msg)
     | v ->
-      Stats.incr t.stats "l1d.loads";
+      Stats.bump t.k.c_l1d_loads;
       let issue = t.t_local in
       t.t_local <- t.t_local + t.cfg.Config.l1d_occupancy;
       t.regs.(rd) <- v;
@@ -272,10 +342,10 @@ and exec_load t insn w rd base off =
         step t
       end
       else begin
-        Stats.incr t.stats "l1d.load_misses";
+        Stats.bump t.k.c_l1d_load_misses;
         (match writeback with
          | Some wb_addr ->
-           Stats.incr t.stats "l1d.writebacks";
+           Stats.bump t.k.c_l1d_writebacks;
            at_local t (fun () ->
                Memsys.access t.memsys ~addr:wb_addr ~write:true
                  ~on_done:(fun () -> ()))
@@ -286,7 +356,7 @@ and exec_load t insn w rd base off =
         else if t.outstanding >= t.cfg.Config.max_outstanding then begin
           (* All miss slots busy: retry this load when one frees up. *)
           t.wait <- Wait_capacity t.pc;
-          Stats.incr t.stats "exec.capacity_suspends"
+          Stats.bump t.k.c_capacity_suspends
         end
         else begin
           issue_miss t rd addr ~blocking:false;
@@ -299,10 +369,12 @@ and exec_load t insn w rd base off =
 and issue_miss t rd addr ~blocking =
   t.outstanding <- t.outstanding + 1;
   t.pending.(rd) <- true;
+  t.pending_mask <- t.pending_mask lor (1 lsl rd);
   at_local t (fun () ->
       Memsys.access t.memsys ~addr ~write:false ~on_done:(fun () ->
           let now = Event_queue.now t.q in
           t.pending.(rd) <- false;
+          t.pending_mask <- t.pending_mask land lnot (1 lsl rd);
           t.ready_at.(rd) <- now;
           t.outstanding <- t.outstanding - 1;
           wake t));
@@ -330,23 +402,23 @@ and exec_store t w rv base off =
     match value_store t w addr v with
     | exception Guest_mem_fault msg -> finish t (Fault msg)
     | () ->
-      Stats.incr t.stats "l1d.stores";
+      Stats.bump t.k.c_l1d_stores;
       t.t_local <- t.t_local + t.cfg.Config.l1d_occupancy;
       (* Self-modifying-code detection: a store into a page holding
          translated code invalidates that page's blocks everywhere. *)
       let page = Mem.page_of addr in
       if Manager.page_has_code t.manager ~page then begin
-        Stats.incr t.stats "smc.invalidations";
+        Stats.bump t.k.c_smc_invalidations;
         Manager.invalidate_page t.manager ~page;
         Code_cache.L1.flush t.l1;
         t.t_local <- t.t_local + 400
       end;
       let { Cache.hit; writeback } = Cache.access t.l1d ~addr ~write:true in
       if not hit then begin
-        Stats.incr t.stats "l1d.store_misses";
+        Stats.bump t.k.c_l1d_store_misses;
         (match writeback with
          | Some wb_addr ->
-           Stats.incr t.stats "l1d.writebacks";
+           Stats.bump t.k.c_l1d_writebacks;
            at_local t (fun () ->
                Memsys.access t.memsys ~addr:wb_addr ~write:true
                  ~on_done:(fun () -> ()))
@@ -385,7 +457,7 @@ and terminator t entry =
     if t.pending.(r) then t.wait <- Wait_reg (r, t.pc)
     else begin
       if t.ready_at.(r) > t.t_local then t.t_local <- t.ready_at.(r);
-      Stats.incr t.stats "exec.indirect_transfers";
+      Stats.bump t.k.c_indirect_transfers;
       dispatch t ~chain_slot:None (t.regs.(r))
     end
 
@@ -399,21 +471,21 @@ and leave_direct t entry dir target =
   in
   match chained with
   | Some next_entry ->
-    Stats.incr t.stats "exec.chained_transfers";
+    Stats.bump t.k.c_chained_transfers;
     t.t_local <- t.t_local + t.cfg.Config.chain_cycles;
     enter t next_entry
   | None -> dispatch t ~chain_slot:(Some (entry, dir)) target
 
 and dispatch t ~chain_slot target =
-  Stats.incr t.stats "exec.dispatches";
+  Stats.bump t.k.c_dispatches;
   t.t_local <- t.t_local + t.cfg.Config.dispatch_cycles;
   match Code_cache.L1.find t.l1 target with
   | Some next_entry ->
-    Stats.incr t.stats "l1code.hits";
+    Stats.bump t.k.c_l1code_hits;
     set_chain t chain_slot next_entry;
     enter t next_entry
   | None ->
-    Stats.incr t.stats "l1code.misses";
+    Stats.bump t.k.c_l1code_misses;
     t.wait <- Wait_fill;
     at_local t (fun () ->
         Manager.note_on_path t.manager target;
@@ -426,7 +498,7 @@ and dispatch t ~chain_slot target =
             in
             t.t_local <- t.t_local + max 1 install_cost;
             let next_entry = Code_cache.L1.install t.l1 block in
-            Stats.incr t.stats "l1code.installs";
+            Stats.bump t.k.c_l1code_installs;
             set_chain t chain_slot next_entry;
             t.wait <- Running;
             enter t next_entry))
@@ -442,7 +514,7 @@ and enter t next_entry =
   t.entry <- Some next_entry;
   t.pc <- 0;
   t.guest_insns <- t.guest_insns + next_entry.block.guest_insns;
-  Stats.incr t.stats "exec.blocks";
+  Stats.bump t.k.c_blocks;
   if t.guest_insns > t.fuel then finish t Out_of_fuel
   else if t.wait = Running then step t
 
@@ -467,7 +539,7 @@ and do_syscall t next =
                 (fun () ->
                   let now = Event_queue.now t.q in
                   if now > t.t_local then t.t_local <- now;
-                  Stats.incr t.stats "exec.syscalls";
+                  Stats.bump t.k.c_syscalls;
                   match result with
                   | Syscall.Exit status -> finish t (Exited status)
                   | Syscall.Continue v ->

@@ -23,6 +23,7 @@ type t = {
   layout : Layout.t;
   fetch : int -> int;
   page_gen : page:int -> int;
+  memo : Translate.Memo.t option;
   l2 : Code_cache.L2.t;
   l15_banks : Code_cache.L15.t array;
   spec : Spec.t;
@@ -56,15 +57,12 @@ let rec kick_slaves t =
       let s = t.slaves.(i) in
       s.busy <- true;
       s.current <- Some addr;
-      let block = Translate.translate t.cfg ~fetch:t.fetch ~guest_addr:addr in
-      (* Record the generations of the guest pages the translator read, so
-         a store racing with this translation is caught at install time. *)
-      let gens =
-        let rec go p acc =
-          if p > block.Block.page_hi then List.rev acc
-          else go (p + 1) ((p, t.page_gen ~page:p) :: acc)
-        in
-        go block.Block.page_lo []
+      (* [gens]: the generations of the guest pages the translator read,
+         so a store racing with this translation is caught at install
+         time (and so a memo hit is known to be fresh). *)
+      let block, gens =
+        Translate.translate_memo ?memo:t.memo t.cfg ~fetch:t.fetch
+          ~page_gen:t.page_gen ~guest_addr:addr
       in
       Stats.incr t.stats "translations";
       Stats.add t.stats "translations.guest_insns" block.guest_insns;
@@ -220,7 +218,7 @@ let reroute_l15 t { addr; bank; reply } =
     ~delay:(Layout.lat_l15_manager t.layout bank)
     (Fill { addr; reply })
 
-let create q stats cfg layout ~fetch ~page_gen =
+let create ?memo q stats cfg layout ~fetch ~page_gen =
   let t =
     { q;
       stats;
@@ -228,6 +226,7 @@ let create q stats cfg layout ~fetch ~page_gen =
       layout;
       fetch;
       page_gen;
+      memo;
       l2 = Code_cache.L2.create ~capacity:cfg.Config.l2_code_bytes;
       l15_banks =
         Array.init (max 1 cfg.Config.n_l15_banks) (fun _ ->
@@ -284,7 +283,10 @@ let degraded_fill t ~addr ~reply =
     match Code_cache.L2.find t.l2 addr with
     | Some b -> b
     | None ->
-      let b = Translate.translate t.cfg ~fetch:t.fetch ~guest_addr:addr in
+      let b, _gens =
+        Translate.translate_memo ?memo:t.memo t.cfg ~fetch:t.fetch
+          ~page_gen:t.page_gen ~guest_addr:addr
+      in
       Code_cache.L2.install t.l2 b;
       Spec.mark_done t.spec addr;
       Spec.note_block_translated t.spec b;

@@ -14,6 +14,7 @@ open Vat_desim
 type t
 
 val create :
+  ?memo:Translate.Memo.t ->
   Event_queue.t ->
   Stats.t ->
   Config.t ->
@@ -23,7 +24,9 @@ val create :
   t
 (** [page_gen] reads a guest page's store-generation counter; translations
     are validated against it at install time so stores racing with an
-    in-flight translation cannot install stale code. *)
+    in-flight translation cannot install stale code. [memo] lets runs over
+    the same guest image share translations (see {!Translate.Memo});
+    timing is unaffected. *)
 
 val seed : t -> int -> unit
 (** Queue the program entry point before the run starts. *)

@@ -18,10 +18,10 @@ type instance = {
   i_layout : Layout.t;
 }
 
-let create ?input q stats cfg prog =
+let create ?input ?memo q stats cfg prog =
   let layout = Layout.create (Grid.create ()) in
   let manager =
-    Manager.create q stats cfg layout
+    Manager.create ?memo q stats cfg layout
       ~fetch:(Mem.read_u8 prog.Program.mem)
       ~page_gen:(fun ~page -> Mem.page_generation prog.Program.mem ~page)
   in
@@ -143,7 +143,7 @@ let start_watchdog exec stats q ~stall_cycles =
   in
   Event_queue.after q ~delay:interval watch
 
-let run ?input ?(fuel = 50_000_000) ?(max_cycles = 2_000_000_000)
+let run ?input ?memo ?(fuel = 50_000_000) ?(max_cycles = 2_000_000_000)
     ?(faults = Fault.empty) cfg prog =
   (match Config.validate cfg with
    | Ok () -> ()
@@ -154,7 +154,7 @@ let run ?input ?(fuel = 50_000_000) ?(max_cycles = 2_000_000_000)
   in
   let q = Event_queue.create () in
   let stats = Stats.create () in
-  let inst = create ?input q stats cfg prog in
+  let inst = create ?input ?memo q stats cfg prog in
   let manager = inst.i_manager in
   let memsys = inst.i_memsys in
   let exec = inst.i_exec in

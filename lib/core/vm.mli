@@ -20,12 +20,17 @@ type result = {
 }
 
 val run :
-  ?input:string -> ?fuel:int -> ?max_cycles:int -> ?faults:Fault.plan ->
+  ?input:string -> ?memo:Translate.Memo.t -> ?fuel:int -> ?max_cycles:int ->
+  ?faults:Fault.plan ->
   Config.t -> Program.t ->
   result
 (** [fuel] defaults to 50M guest instructions; [max_cycles] (default 2G)
     is a safety net against runaway simulations. Raises
     [Invalid_argument] if the configuration fails {!Config.validate}.
+
+    [memo] shares translations between runs over the same guest program
+    (host-side work only; modelled timing, digests and stats are
+    byte-identical with or without it — see {!Translate.Memo}).
 
     [faults] (default empty) is a deterministic fault plan: each event is
     injected at its scheduled cycle, and a non-empty plan automatically
@@ -58,6 +63,7 @@ type instance
 
 val create :
   ?input:string ->
+  ?memo:Translate.Memo.t ->
   Event_queue.t ->
   Stats.t ->
   Config.t ->

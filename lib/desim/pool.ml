@@ -1,0 +1,56 @@
+(* Domain-based worker pool for independent deterministic tasks.
+
+   The simulator's experiment sweeps are embarrassingly parallel: each
+   (workload x config) cell is a self-contained simulation with no shared
+   mutable state. The pool fans tasks out across OCaml 5 domains and
+   returns results in submission order, so callers observe exactly the
+   sequence a sequential loop would have produced — parallelism never
+   reorders output.
+
+   Scheduling is a single atomic fetch-and-add over the task index; each
+   worker writes only its own result slots, so the only cross-domain
+   communication is the counter and the final join. Tasks that raise are
+   captured and re-raised in the calling domain, lowest task index first,
+   which again matches what a sequential loop would have reported. *)
+
+let cpu_count () = Domain.recommended_domain_count ()
+
+type 'a slot = Empty | Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+let run_array ~jobs (tasks : (unit -> 'a) array) : 'a array =
+  let n = Array.length tasks in
+  let jobs = max 1 (min jobs n) in
+  if n = 0 then [||]
+  else if jobs = 1 then
+    (* Sequential fast path: no domains, identical evaluation order. *)
+    Array.map (fun task -> task ()) tasks
+  else begin
+    let results = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             (match tasks.(i) () with
+              | v -> Value v
+              | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.map
+      (function
+        | Value v -> v
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Empty -> assert false)
+      results
+  end
+
+let run ~jobs tasks = Array.to_list (run_array ~jobs (Array.of_list tasks))
+
+let map ~jobs f items = run_array ~jobs (Array.map (fun x () -> f x) items)

@@ -16,6 +16,17 @@ let add t name n =
 
 let incr t name = add t name 1
 
+(* Pre-resolved counter handles: hot paths look the name up once at
+   component-construction time and then bump a bare ref per event, paying
+   neither string hashing nor a hashtable probe per increment. *)
+
+type counter = int ref
+
+let counter = cell
+let bump (c : counter) = c := !c + 1 [@@inline]
+let bump_by (c : counter) n = c := !c + n [@@inline]
+let counter_value (c : counter) = !c
+
 let set_max t name n =
   let r = cell t name in
   if n > !r then r := n

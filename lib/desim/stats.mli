@@ -12,6 +12,19 @@ val add : t -> string -> int -> unit
 val set_max : t -> string -> int -> unit
 (** Keep the running maximum of a gauge. *)
 
+type counter
+(** A pre-resolved handle to one named counter. Hot paths resolve the
+    name once ({!counter}) at construction time and then {!bump} a bare
+    cell per event — no string hashing on the per-instruction path. *)
+
+val counter : t -> string -> counter
+(** Resolve (creating if needed) the cell behind [name]. The handle and
+    the name alias the same storage: [get t name] sees every {!bump}. *)
+
+val bump : counter -> unit
+val bump_by : counter -> int -> unit
+val counter_value : counter -> int
+
 val get : t -> string -> int
 val ratio : t -> string -> string -> float
 (** [ratio t num den] = numerator / denominator as a float; 0.0 when the

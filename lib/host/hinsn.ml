@@ -63,6 +63,20 @@ let uses = function
   | Trap (_, r) -> [ r ]
   | Nop -> []
 
+(* Register-set bitmasks over allocated code (every register < 32, so a
+   set fits one immediate int). r0 is the hardwired zero and never gates
+   execution, so it is excluded here — mask consumers need no [r <> 0]
+   test. Computed once per installed block; the execution engine then
+   does [land] tests per step instead of walking [uses]/[defs] lists. *)
+
+let reg_mask r =
+  if r = 0 then 0
+  else if r >= 62 then invalid_arg "Hinsn.reg_mask: unallocated register"
+  else 1 lsl r
+
+let use_mask insn = List.fold_left (fun m r -> m lor reg_mask r) 0 (uses insn)
+let def_mask insn = List.fold_left (fun m r -> m lor reg_mask r) 0 (defs insn)
+
 let map_regs f = function
   | Alu3 (op, rd, rs, rt) -> Alu3 (op, f rd, f rs, f rt)
   | Alui (op, rd, rs, imm) -> Alui (op, f rd, f rs, imm)

@@ -14,6 +14,7 @@ let () =
       ("morphing", Test_morph.suite);
       ("translator-equivalence", Test_equiv.suite);
       ("virtual-machine", Test_vm.suite);
+      ("perf-determinism", Test_perf.suite);
       ("fabric", Test_fabric.suite);
       ("faults", Test_faults.suite);
       ("workloads", Test_workloads.suite) ]

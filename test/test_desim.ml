@@ -75,6 +75,54 @@ let test_stats () =
   Stats.add s "ten" 10;
   Alcotest.(check (float 1e-9)) "ratio" 0.5 (Stats.ratio s "a" "ten")
 
+let test_counter_handles () =
+  let s = Stats.create () in
+  let c = Stats.counter s "hot" in
+  Stats.bump c;
+  Stats.bump_by c 4;
+  Alcotest.(check int) "bumps land in the registry" 5 (Stats.get s "hot");
+  Stats.incr s "hot";
+  Alcotest.(check int) "same cell as string keys" 6 (Stats.counter_value c)
+
+let test_pool_order () =
+  let tasks = List.init 37 (fun i () -> i * i) in
+  Alcotest.(check (list int))
+    "results in submission order, jobs=4"
+    (List.init 37 (fun i -> i * i))
+    (Pool.run ~jobs:4 tasks);
+  Alcotest.(check (list int))
+    "sequential path agrees"
+    (Pool.run ~jobs:1 tasks)
+    (Pool.run ~jobs:4 tasks)
+
+let test_pool_map () =
+  let items = Array.init 100 (fun i -> i) in
+  Alcotest.(check (array int))
+    "map ~jobs:3" (Array.map (fun i -> i + 1) items)
+    (Pool.map ~jobs:3 (fun i -> i + 1) items)
+
+exception Boom of int
+
+let test_pool_exception () =
+  (* All tasks run; the lowest-index failure is re-raised. *)
+  let ran = Array.make 8 false in
+  let tasks =
+    List.init 8 (fun i () ->
+        ran.(i) <- true;
+        if i = 2 || i = 5 then raise (Boom i);
+        i)
+  in
+  Alcotest.check_raises "lowest-index exception wins" (Boom 2) (fun () ->
+      ignore (Pool.run ~jobs:4 tasks));
+  Alcotest.(check bool) "later tasks still ran" true (Array.for_all Fun.id ran)
+
+let prop_pool_matches_sequential =
+  QCheck.Test.make ~name:"pool: parallel = sequential for pure tasks" ~count:30
+    QCheck.(pair (int_range 1 8) (list_of_size (Gen.int_range 0 20) small_int))
+    (fun (jobs, xs) ->
+      let tasks = List.map (fun x () -> (2 * x) + 1) xs in
+      Pool.run ~jobs tasks = List.map (fun f -> f ()) tasks)
+
 let prop_rng_bounds =
   QCheck.Test.make ~name:"rng: int stays in bounds" ~count:500
     QCheck.(pair small_int (int_range 1 10_000))
@@ -107,6 +155,11 @@ let suite =
     quick "past scheduling rejected" test_past_scheduling_rejected;
     quick "run_until" test_run_until;
     quick "heap growth" test_heap_growth;
-    quick "stats counters" test_stats ]
+    quick "stats counters" test_stats;
+    quick "stats counter handles" test_counter_handles;
+    quick "pool result order" test_pool_order;
+    quick "pool map" test_pool_map;
+    quick "pool exception propagation" test_pool_exception ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_rng_bounds; prop_rng_deterministic; prop_shuffle_permutation ]
+      [ prop_pool_matches_sequential; prop_rng_bounds; prop_rng_deterministic;
+        prop_shuffle_permutation ]

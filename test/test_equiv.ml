@@ -302,6 +302,28 @@ let syscall_write () =
          int_ Syscall.vector;
          label "msg"; Asm.Ascii "hello, world\n" ])
 
+(* The random families are embarrassingly parallel: each seed builds its
+   own program, interpreter and VM. Fan a family's seeds out over a Pool
+   when its first case runs; each named case then reports only its own
+   seed's verdict, so failure attribution is unchanged. *)
+let pooled_family family seeds =
+  let results =
+    lazy
+      (Pool.run ~jobs:(Pool.cpu_count ())
+         (List.map
+            (fun seed () ->
+              match family seed () with
+              | () -> Ok ()
+              | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+            seeds))
+  in
+  List.mapi
+    (fun i _seed () ->
+      match List.nth (Lazy.force results) i with
+      | Ok () -> ()
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+    seeds
+
 let suite =
   let quick name f = Alcotest.test_case name `Quick f in
   [ quick "simple loop" simple_loop;
@@ -316,16 +338,15 @@ let suite =
     quick "rep movsb/stosb" rep_ops;
     quick "rep overlapping copy" rep_overlap;
     quick "syscall write" syscall_write ]
-  @ List.init 12 (fun i ->
-        quick (Printf.sprintf "random program %d" i) (random_case (1000 + i)))
-  @ List.init 6 (fun i ->
-        quick
-          (Printf.sprintf "random program unoptimized %d" i)
-          (random_noopt_case (2000 + i)))
-  @ List.init 6 (fun i ->
-        quick
-          (Printf.sprintf "random program superblocks %d" i)
-          (random_superblock_case (2500 + i)))
-  @ List.init 4 (fun i ->
-        quick (Printf.sprintf "random program large %d" i)
-          (big_random_case (3000 + i)))
+  @ List.mapi
+      (fun i f -> quick (Printf.sprintf "random program %d" i) f)
+      (pooled_family random_case (List.init 12 (fun i -> 1000 + i)))
+  @ List.mapi
+      (fun i f -> quick (Printf.sprintf "random program unoptimized %d" i) f)
+      (pooled_family random_noopt_case (List.init 6 (fun i -> 2000 + i)))
+  @ List.mapi
+      (fun i f -> quick (Printf.sprintf "random program superblocks %d" i) f)
+      (pooled_family random_superblock_case (List.init 6 (fun i -> 2500 + i)))
+  @ List.mapi
+      (fun i f -> quick (Printf.sprintf "random program large %d" i) f)
+      (pooled_family big_random_case (List.init 4 (fun i -> 3000 + i)))

@@ -1,0 +1,93 @@
+(* Performance-engineering regression tests (PR 2): the speedups —
+   translation memo, mask scoreboard, parallel experiment runner — must be
+   invisible in modelled results. Every test here pins the determinism
+   contract: identical inputs produce identical cycles, digests, output
+   and stats, whatever the host-side execution strategy. *)
+
+open Vat_desim
+open Vat_core
+open Vat_workloads
+
+let fingerprint (r : Vm.result) =
+  let outcome =
+    match r.outcome with
+    | Exec.Exited c -> Printf.sprintf "exit %d" c
+    | Exec.Fault m -> "fault " ^ m
+    | Exec.Out_of_fuel -> "fuel"
+  in
+  Printf.sprintf "%s cycles=%d insns=%d digest=%d output=%S" outcome r.cycles
+    r.guest_insns r.digest r.output
+
+let check_fp msg a b = Alcotest.(check string) msg a b
+
+let run_bench ?memo name cfg =
+  let b = Suite.find name in
+  Vm.run ?memo ~fuel:50_000_000 cfg (Suite.load b)
+
+(* Same workload twice in one process: nothing in the library may carry
+   state from one run into the next (caches, RNGs, statistics). *)
+let test_rerun_identical () =
+  let a = run_bench "gzip" Config.default in
+  let b = run_bench "gzip" Config.default in
+  check_fp "second run identical" (fingerprint a) (fingerprint b);
+  Alcotest.(check int) "exec.cycles stable"
+    (Stats.get a.stats "total.cycles")
+    (Stats.get b.stats "total.cycles")
+
+(* The translation memo changes host-side work only: a cold run, a
+   memo-sharing run, and a memo-hitting rerun all model the same machine. *)
+let test_memo_invisible () =
+  let cold = run_bench "parser" Config.default in
+  let memo = Translate.Memo.create () in
+  let warm1 = run_bench ~memo "parser" Config.default in
+  let warm2 = run_bench ~memo "parser" Config.default in
+  check_fp "memo miss run identical" (fingerprint cold) (fingerprint warm1);
+  check_fp "memo hit run identical" (fingerprint cold) (fingerprint warm2);
+  Alcotest.(check bool) "memo actually hit" true (Translate.Memo.hits memo > 0)
+
+(* Parallel-vs-sequential golden equality over a full figure-4-style
+   sweep: every cell's modelled result must be byte-identical whether the
+   grid ran on one domain or several. *)
+let test_parallel_golden () =
+  let cells =
+    List.concat_map
+      (fun name ->
+        List.map
+          (fun banks ->
+            (name, { Config.default with Config.n_l15_banks = banks }))
+          [ 0; 1; 2 ])
+      [ "gzip"; "parser" ]
+  in
+  let sweep jobs =
+    (* One memo per benchmark, shared across configs and domains, exactly
+       as bench/figures.ml does it. *)
+    let memos = Hashtbl.create 4 in
+    let memo_for name =
+      match Hashtbl.find_opt memos name with
+      | Some m -> m
+      | None ->
+        let m = Translate.Memo.create () in
+        Hashtbl.add memos name m;
+        m
+    in
+    let tasks =
+      List.map
+        (fun (name, cfg) ->
+          let memo = memo_for name in
+          fun () -> fingerprint (run_bench ~memo name cfg))
+        cells
+    in
+    Pool.run ~jobs tasks
+  in
+  let seq = sweep 1 and par = sweep 4 in
+  List.iteri
+    (fun i (s, p) ->
+      let name, _ = List.nth cells i in
+      check_fp (Printf.sprintf "cell %d (%s)" i name) s p)
+    (List.combine seq par)
+
+let suite =
+  let quick name f = Alcotest.test_case name `Quick f in
+  [ quick "rerun in one process is identical" test_rerun_identical;
+    quick "translation memo is timing-invisible" test_memo_invisible;
+    quick "parallel sweep equals sequential" test_parallel_golden ]
