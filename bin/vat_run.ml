@@ -33,18 +33,53 @@ let build_config base translators banks l15 no_spec no_opt no_chain morph =
     { cfg with Config.morph = Config.Morph { threshold; dwell = 25000 } }
   | None -> cfg
 
-let fault_plan cfg ~faults ~seed =
+(* Accepts a preset name or a comma-separated list of fault classes
+   ("fail-stop", "drop", "slow", "corrupt-payload", "corrupt-storage",
+   "duplicate"). *)
+let parse_fault_classes s =
+  match s with
+  | "legacy" -> Ok Vat_desim.Fault.legacy_classes
+  | "all" -> Ok Vat_desim.Fault.all_classes
+  | "corruption" -> Ok Vat_desim.Fault.corruption_classes
+  | s ->
+    let parts =
+      List.filter (( <> ) "")
+        (List.map String.trim (String.split_on_char ',' s))
+    in
+    if parts = [] then Error "--fault-kinds: empty class list"
+    else
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+          match Vat_desim.Fault.class_of_string p with
+          | Some c -> collect (c :: acc) rest
+          | None ->
+            Error
+              (Printf.sprintf
+                 "--fault-kinds: unknown fault class %S (known: %s, or the \
+                  presets legacy/corruption/all)"
+                 p
+                 (String.concat ", "
+                    (List.map Vat_desim.Fault.class_to_string
+                       Vat_desim.Fault.all_classes))))
+      in
+      collect [] parts
+
+let fault_plan cfg ~faults ~seed ~classes =
   if faults = 0 then Vat_desim.Fault.empty
   else
-    Vat_desim.Fault.random ~seed ~horizon:400_000 ~menu:(Vm.fault_menu cfg)
+    Vat_desim.Fault.random ~seed ~horizon:400_000
+      ~menu:(Vm.fault_menu ~classes cfg)
       ~count:faults
 
-let compute_one cfg plan (b : Suite.benchmark) =
-  let piii = Vat_refmodel.Piii.run (Suite.load b) in
-  let rv = Vm.run ~fuel:100_000_000 ~faults:plan cfg (Suite.load b) in
+(* [load] is called once per simulation: guest memory is mutated by a run,
+   so the reference model and the translator each get a fresh program. *)
+let compute_one cfg plan load =
+  let piii = Vat_refmodel.Piii.run (load ()) in
+  let rv = Vm.run ~fuel:100_000_000 ~faults:plan cfg (load ()) in
   (piii, rv)
 
-let print_one show_stats (b : Suite.benchmark)
+let print_one show_stats name
     ((piii : Vat_refmodel.Piii.result), (rv : Vm.result)) =
   let outcome =
     match rv.outcome with
@@ -53,7 +88,7 @@ let print_one show_stats (b : Suite.benchmark)
     | Exec.Out_of_fuel -> "out of fuel"
   in
   Printf.printf
-    "%-14s %-12s %9d guest insns %11d cycles   slowdown %6.2f\n" b.name
+    "%-14s %-12s %9d guest insns %11d cycles   slowdown %6.2f\n" name
     outcome rv.guest_insns rv.cycles
     (Vm.slowdown rv ~piii_cycles:piii.cycles);
   if Metrics.faults_injected rv <> 0 then
@@ -65,15 +100,25 @@ let print_one show_stats (b : Suite.benchmark)
       (Metrics.fault_timeouts rv)
       (Metrics.fault_retries rv)
       (Metrics.degraded_events rv);
+  if Metrics.corruptions_injected rv <> 0 then
+    Printf.printf
+      "  corruption: %d injected, %d detected, %d corrected, %d tiles \
+       quarantined, %d silent\n"
+      (Metrics.corruptions_injected rv)
+      (Metrics.corruptions_detected rv)
+      (Metrics.corruptions_corrected rv)
+      (Metrics.quarantined_tiles rv)
+      (Metrics.silent_corruptions rv);
   if show_stats then begin
     Format.printf "%a" Metrics.pp_result rv;
     Format.printf "%a" Vat_desim.Stats.pp rv.stats
   end
 
-let run_one cfg show_stats plan b = print_one show_stats b (compute_one cfg plan b)
+let run_one cfg show_stats plan name load =
+  print_one show_stats name (compute_one cfg plan load)
 
 let main list_benches bench base translators banks l15 no_spec no_opt no_chain
-    morph show_stats faults fault_seed jobs =
+    morph show_stats faults fault_seed fault_kinds jobs =
   if list_benches then begin
     List.iter
       (fun (b : Suite.benchmark) ->
@@ -83,31 +128,53 @@ let main list_benches bench base translators banks l15 no_spec no_opt no_chain
   end
   else if faults < 0 then `Error (false, "--faults must be non-negative")
   else
-    match
-      build_config base translators banks l15 no_spec no_opt no_chain morph
-    with
-    | exception Failure msg -> `Error (false, msg)
-    | cfg -> (
-      match Config.validate cfg with
-      | Error msg -> `Error (false, "invalid configuration: " ^ msg)
-      | Ok () -> (
-        let plan = fault_plan cfg ~faults ~seed:fault_seed in
-        match bench with
-        | Some name -> (
-          match Suite.find name with
-          | b ->
-            run_one cfg show_stats plan b;
-            `Ok ()
-          | exception Not_found ->
-            `Error (false, "unknown benchmark " ^ name ^ " (try --list)"))
-        | None ->
-          (* Whole-suite sweep: simulate in parallel, print in order. *)
-          let benches = Array.of_list Suite.all in
-          let results =
-            Vat_desim.Pool.map ~jobs (compute_one cfg plan) benches
-          in
-          Array.iteri (fun i r -> print_one show_stats benches.(i) r) results;
-          `Ok ()))
+    match parse_fault_classes fault_kinds with
+    | Error msg -> `Error (false, msg)
+    | Ok classes -> (
+      match
+        build_config base translators banks l15 no_spec no_opt no_chain morph
+      with
+      | exception Failure msg -> `Error (false, msg)
+      | cfg -> (
+        match Config.validate cfg with
+        | Error msg -> `Error (false, "invalid configuration: " ^ msg)
+        | Ok () -> (
+          let plan = fault_plan cfg ~faults ~seed:fault_seed ~classes in
+          match bench with
+          | Some name -> (
+            match Suite.find name with
+            | b ->
+              run_one cfg show_stats plan b.Suite.name (fun () -> Suite.load b);
+              `Ok ()
+            | exception Not_found -> (
+              (* Not a suite benchmark: try it as a guest-image path. *)
+              if not (Sys.file_exists name) then
+                `Error
+                  ( false,
+                    "unknown benchmark " ^ name
+                    ^ " (try --list, or pass a guest-image path)" )
+              else
+                match Vat_guest.Image.load name with
+                | img ->
+                  run_one cfg show_stats plan (Filename.basename name)
+                    (fun () -> Vat_guest.Image.to_program img);
+                  `Ok ()
+                | exception Vat_guest.Image.Bad_image msg ->
+                  `Error (false, "bad guest image " ^ name ^ ": " ^ msg)
+                | exception Sys_error msg -> `Error (false, msg)))
+          | None ->
+            (* Whole-suite sweep: simulate in parallel, print in order. *)
+            let benches = Array.of_list Suite.all in
+            let results =
+              Vat_desim.Pool.map ~jobs
+                (fun (b : Suite.benchmark) ->
+                  compute_one cfg plan (fun () -> Suite.load b))
+                benches
+            in
+            Array.iteri
+              (fun i r -> print_one show_stats benches.(i).Suite.name r)
+              results;
+            `Ok ())))
 
 let cmd =
   let list_flag =
@@ -181,6 +248,16 @@ let cmd =
       & info [ "fault-seed" ] ~docv:"SEED"
           ~doc:"Seed for the fault plan; same seed replays the same faults.")
   in
+  let fault_kinds =
+    Arg.(
+      value & opt string "legacy"
+      & info [ "fault-kinds" ] ~docv:"CLASSES"
+          ~doc:
+            "Fault classes --faults draws from: a comma-separated subset of \
+             fail-stop, drop, slow, corrupt-payload, corrupt-storage, \
+             duplicate; or a preset: legacy (the first three, the default), \
+             corruption (the last three), all.")
+  in
   let jobs =
     Arg.(
       value
@@ -195,7 +272,7 @@ let cmd =
       ret
         (const main $ list_flag $ bench $ base $ translators $ banks $ l15
         $ no_spec $ no_opt $ no_chain $ morph $ stats $ faults $ fault_seed
-        $ jobs))
+        $ fault_kinds $ jobs))
   in
   Cmd.v
     (Cmd.info "vat_run" ~version:"1.0"
@@ -217,4 +294,7 @@ let () =
     exit 1
   | exception Invalid_argument msg ->
     Printf.eprintf "vat_run: %s\n" msg;
+    exit 1
+  | exception Vat_guest.Image.Bad_image msg ->
+    Printf.eprintf "vat_run: bad guest image: %s\n" msg;
     exit 1

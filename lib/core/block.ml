@@ -22,7 +22,23 @@ type t = {
   translation_cycles : int;
   page_lo : int;
   page_hi : int;
+  checksum : int;
 }
+
+(* FNV-1a style fold over the block's content. Computed once at
+   translation time and carried in the block; every store/transfer of the
+   block keeps its own copy of the sum, so a bit flip in storage or in
+   flight shows up as a sum that no longer matches a recomputation. *)
+let checksum_of ~guest_addr ~code ~term =
+  let h = ref 0x811C9DC5 in
+  let mix v = h := (!h lxor (v land max_int)) * 0x01000193 land max_int in
+  mix guest_addr;
+  Array.iter (fun insn -> mix (Hashtbl.hash insn)) code;
+  mix (Hashtbl.hash term);
+  !h
+
+let recompute_checksum t =
+  checksum_of ~guest_addr:t.guest_addr ~code:t.code ~term:t.term
 
 let size_bytes t = (Array.length t.code * Hencode.bytes_per_insn) + 8
 

@@ -35,7 +35,20 @@ type t = {
   translation_cycles : int;   (** slave occupancy to produce this block *)
   page_lo : int;
   page_hi : int;              (** guest pages covered, for SMC invalidation *)
+  checksum : int;
+      (** Content checksum computed at translation time; caches and
+          messages carry their own copy of the sum, and every consumer
+          verifies it before the block may execute (end-to-end
+          integrity). *)
 }
+
+val checksum_of :
+  guest_addr:int -> code:Vat_host.Hinsn.t array -> term:term -> int
+(** The checksum a freshly translated block of this content must carry. *)
+
+val recompute_checksum : t -> int
+(** Recompute the sum from the block's content (what a verifier compares
+    a stored/transmitted sum against). *)
 
 val size_bytes : t -> int
 (** Instruction-memory footprint: 4 bytes per instruction plus an 8-byte

@@ -1,8 +1,31 @@
+(* Every resident block carries its own mutable copy of the content
+   checksum ([stored_sum]), initialized from the sum the block was
+   translated with. Soft-error injection tampers the stored sum (blocks
+   themselves are immutable and shared across domains), and consumers
+   verify stored-vs-recomputed before the block may execute. *)
+
+let mix_salt salt = salt * 0x9E3779B9 land max_int
+
+(* Deterministic victim pick over a hashtable: the entry whose address
+   xor-mixed with the salt is smallest. Independent of hashtable iteration
+   order, so injection is reproducible across runs and domains. *)
+let pick_victim table salt =
+  let mixed = mix_salt salt in
+  Hashtbl.fold
+    (fun addr _ best ->
+      let score = addr lxor mixed in
+      match best with
+      | Some (s, _) when s <= score -> best
+      | _ -> Some (score, addr))
+    table None
+  |> Option.map snd
+
 module L1 = struct
   type entry = {
     block : Block.t;
     use_masks : int array;
     def_masks : int array;
+    mutable stored_sum : int;
     mutable chain_taken : entry option;
     mutable chain_fall : entry option;
   }
@@ -32,6 +55,7 @@ module L1 = struct
       { block;
         use_masks = Array.map Vat_host.Hinsn.use_mask block.code;
         def_masks = Array.map Vat_host.Hinsn.def_mask block.code;
+        stored_sum = block.checksum;
         chain_taken = None;
         chain_fall = None }
     in
@@ -40,13 +64,25 @@ module L1 = struct
     t.installs <- t.installs + 1;
     entry
 
+  let corrupt_one t ~salt =
+    match pick_victim t.table salt with
+    | None -> false
+    | Some addr ->
+      let entry = Hashtbl.find t.table addr in
+      entry.stored_sum <- entry.stored_sum lxor (1 lsl (salt land 15));
+      true
+
   let used_bytes t = t.used
   let flushes t = t.flushes
   let installs t = t.installs
 end
 
 module L15 = struct
-  type slot = { block : Block.t; mutable last_use : int }
+  type slot = {
+    block : Block.t;
+    mutable stored_sum : int;
+    mutable last_use : int;
+  }
 
   type t = {
     capacity : int;
@@ -67,7 +103,7 @@ module L15 = struct
     | Some slot ->
       slot.last_use <- t.tick;
       t.hits <- t.hits + 1;
-      Some slot.block
+      Some (slot.block, slot.stored_sum)
     | None ->
       t.misses <- t.misses + 1;
       None
@@ -86,22 +122,35 @@ module L15 = struct
       t.used <- t.used - Block.size_bytes slot.block
     | None -> ()
 
-  let install t (block : Block.t) =
+  let remove t addr =
+    match Hashtbl.find_opt t.table addr with
+    | None -> ()
+    | Some slot ->
+      Hashtbl.remove t.table addr;
+      t.used <- t.used - Block.size_bytes slot.block
+
+  let install ?sum t (block : Block.t) =
     let size = Block.size_bytes block in
     if size > t.capacity then ()
     else begin
-      (match Hashtbl.find_opt t.table block.guest_addr with
-       | Some old ->
-         Hashtbl.remove t.table block.guest_addr;
-         t.used <- t.used - Block.size_bytes old.block
-       | None -> ());
+      remove t block.guest_addr;
       while t.used + size > t.capacity && Hashtbl.length t.table > 0 do
         evict_one t
       done;
       t.tick <- t.tick + 1;
-      Hashtbl.replace t.table block.guest_addr { block; last_use = t.tick };
+      let stored_sum = Option.value ~default:block.checksum sum in
+      Hashtbl.replace t.table block.guest_addr
+        { block; stored_sum; last_use = t.tick };
       t.used <- t.used + size
     end
+
+  let corrupt_one t ~salt =
+    match pick_victim t.table salt with
+    | None -> false
+    | Some addr ->
+      let slot = Hashtbl.find t.table addr in
+      slot.stored_sum <- slot.stored_sum lxor (1 lsl (salt land 15));
+      true
 
   let drop_page t page =
     let doomed = ref [] in
@@ -121,9 +170,11 @@ module L15 = struct
 end
 
 module L2 = struct
+  type cell = { block : Block.t; mutable stored_sum : int }
+
   type t = {
     capacity : int;
-    table : (int, Block.t) Hashtbl.t;
+    table : (int, cell) Hashtbl.t;
     pages : (int, int) Hashtbl.t; (* page -> number of blocks touching it *)
     mutable used : int;
   }
@@ -137,18 +188,21 @@ module L2 = struct
       if n <= 0 then Hashtbl.remove t.pages p else Hashtbl.replace t.pages p n
     done
 
-  let find t addr = Hashtbl.find_opt t.table addr
+  let find t addr =
+    Hashtbl.find_opt t.table addr
+    |> Option.map (fun c -> (c.block, c.stored_sum))
+
   let mem t addr = Hashtbl.mem t.table addr
 
   let remove t addr =
     match Hashtbl.find_opt t.table addr with
     | None -> ()
-    | Some block ->
+    | Some cell ->
       Hashtbl.remove t.table addr;
-      t.used <- t.used - Block.size_bytes block;
-      add_pages t block (-1)
+      t.used <- t.used - Block.size_bytes cell.block;
+      add_pages t cell.block (-1)
 
-  let install t (block : Block.t) =
+  let install ?sum t (block : Block.t) =
     remove t block.guest_addr;
     (* The 105 MB cache never fills in practice; if it somehow does, drop
        arbitrary entries (the hash table has no useful recency order). *)
@@ -157,17 +211,26 @@ module L2 = struct
       let doomed = ref [] in
       (try
          Hashtbl.iter
-           (fun addr b ->
+           (fun addr (c : cell) ->
              if !excess <= 0 then raise Exit;
              doomed := addr :: !doomed;
-             excess := !excess - Block.size_bytes b)
+             excess := !excess - Block.size_bytes c.block)
            t.table
        with Exit -> ());
       List.iter (remove t) !doomed
     end;
-    Hashtbl.replace t.table block.guest_addr block;
+    let stored_sum = Option.value ~default:block.checksum sum in
+    Hashtbl.replace t.table block.guest_addr { block; stored_sum };
     t.used <- t.used + Block.size_bytes block;
     add_pages t block 1
+
+  let corrupt_one t ~salt =
+    match pick_victim t.table salt with
+    | None -> false
+    | Some addr ->
+      let cell = Hashtbl.find t.table addr in
+      cell.stored_sum <- cell.stored_sum lxor (1 lsl (salt land 15));
+      true
 
   let blocks t = Hashtbl.length t.table
   let used_bytes t = t.used
@@ -177,8 +240,9 @@ module L2 = struct
   let invalidate_page t ~page =
     let doomed = ref [] in
     Hashtbl.iter
-      (fun addr (b : Block.t) ->
-        if b.page_lo <= page && page <= b.page_hi then doomed := addr :: !doomed)
+      (fun addr (c : cell) ->
+        if c.block.page_lo <= page && page <= c.block.page_hi then
+          doomed := addr :: !doomed)
       t.table;
     List.iter (remove t) !doomed;
     List.length !doomed

@@ -9,7 +9,16 @@
       two tiles); LRU within each bank; no chaining.
     - {!L2}: the manager tile's main-memory code cache (paper: 105 MB in
       off-chip DRAM), plus the translated-page registry used to detect
-      self-modifying code. *)
+      self-modifying code.
+
+    Every resident block carries its own mutable copy of the content
+    checksum (initialized from {!Block.checksum} at install). Soft-error
+    injection tampers the stored sum — blocks themselves are immutable and
+    shared — and consumers verify the stored sum against a recomputation
+    before the block may run. The [corrupt_one ~salt] entries pick a
+    deterministic victim (independent of hashtable iteration order) and
+    flip one bit of its stored sum; they return [false] when the structure
+    is empty and the fault is absorbed. *)
 
 module L1 : sig
   type entry = {
@@ -19,6 +28,9 @@ module L1 : sig
         (** Per-instruction {!Vat_host.Hinsn.use_mask}/[def_mask], computed
             once at install so the engine's scoreboard does [land] tests
             per step instead of allocating register lists. *)
+    mutable stored_sum : int;
+        (** This residency's copy of the block checksum; verified against
+            {!Block.checksum} on entry when fault tolerance is armed. *)
     mutable chain_taken : entry option;
     mutable chain_fall : entry option;
   }
@@ -30,6 +42,7 @@ module L1 : sig
   val install : t -> Block.t -> entry
   (** Flushes everything first if the block does not fit. *)
 
+  val corrupt_one : t -> salt:int -> bool
   val flush : t -> unit
   val used_bytes : t -> int
   val flushes : t -> int
@@ -40,10 +53,18 @@ module L15 : sig
   type t
 
   val create : capacity:int -> t
-  val find : t -> int -> Block.t option
-  val install : t -> Block.t -> unit
-  (** Evicts least-recently-used blocks until the new one fits. *)
 
+  val find : t -> int -> (Block.t * int) option
+  (** The resident block and its stored sum. *)
+
+  val install : ?sum:int -> t -> Block.t -> unit
+  (** Evicts least-recently-used blocks until the new one fits. [sum]
+      defaults to the block's translation-time checksum; a corrupted
+      delivery installs its (bad) transmitted sum, to be caught on the
+      next lookup. *)
+
+  val remove : t -> int -> unit
+  val corrupt_one : t -> salt:int -> bool
   val drop_page : t -> int -> unit
   val hits : t -> int
   val misses : t -> int
@@ -53,8 +74,13 @@ module L2 : sig
   type t
 
   val create : capacity:int -> t
-  val find : t -> int -> Block.t option
-  val install : t -> Block.t -> unit
+
+  val find : t -> int -> (Block.t * int) option
+  (** The resident block and its stored sum. *)
+
+  val install : ?sum:int -> t -> Block.t -> unit
+  val remove : t -> int -> unit
+  val corrupt_one : t -> salt:int -> bool
   val mem : t -> int -> bool
   val blocks : t -> int
   val used_bytes : t -> int

@@ -55,6 +55,10 @@ type t = {
   mem_max_retries : int;
   demand_translate_penalty_cycles : int;
   watchdog_stall_cycles : int;
+  checksum_cycles : int;
+  ack_deadline_cycles : int;
+  ack_max_retries : int;
+  quarantine_threshold : int;
 }
 
 let default =
@@ -112,7 +116,11 @@ let default =
     mem_deadline_cycles = 4000;
     mem_max_retries = 3;
     demand_translate_penalty_cycles = 300;
-    watchdog_stall_cycles = 1_000_000 }
+    watchdog_stall_cycles = 1_000_000;
+    checksum_cycles = 8;
+    ack_deadline_cycles = 6000;
+    ack_max_retries = 3;
+    quarantine_threshold = 4 }
 
 let fixed_tiles = 4
 
@@ -132,7 +140,9 @@ let validate t =
   else if t.fault_tolerance
           && (t.fill_deadline_cycles < 1 || t.mem_deadline_cycles < 1
               || t.fill_max_retries < 0 || t.mem_max_retries < 0
-              || t.fill_backoff_mult < 1 || t.watchdog_stall_cycles < 1)
+              || t.fill_backoff_mult < 1 || t.watchdog_stall_cycles < 1
+              || t.checksum_cycles < 0 || t.ack_deadline_cycles < 1
+              || t.ack_max_retries < 0 || t.quarantine_threshold < 0)
   then Error "fault-tolerance parameters invalid"
   else Ok ()
 

@@ -92,6 +92,20 @@ type t = {
           (the degraded path after fill retries are exhausted). *)
   watchdog_stall_cycles : int;
       (** Abort when no guest instruction retires for this many cycles. *)
+  checksum_cycles : int;
+      (** Occupancy to compute/verify a translated block's checksum at an
+          integrity checkpoint (translation install, cache fetch, L1
+          install). Charged only when fault tolerance is armed. *)
+  ack_deadline_cycles : int;
+      (** Base deadline for a slave's install message to be acknowledged
+          by the manager before it is retransmitted. *)
+  ack_max_retries : int;
+      (** Install retransmissions before the translation is requeued
+          wholesale (backoff multiplies the deadline each time). *)
+  quarantine_threshold : int;
+      (** Corruption events charged to one site (slave, L1.5 bank, L2D
+          bank) before the quarantine monitor retires it like a fail-stop
+          tile. 0 disables quarantine. *)
 }
 
 val default : t

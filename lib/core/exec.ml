@@ -48,6 +48,8 @@ type counters = {
   c_l1code_installs : Stats.counter;
   c_blocks : Stats.counter;
   c_syscalls : Stats.counter;
+  c_l1code_corrupt : Stats.counter;
+  c_silent_corruptions : Stats.counter;
 }
 
 type t = {
@@ -120,7 +122,9 @@ let create q stats cfg layout prog ~manager ~memsys ?input () =
         c_l1code_misses = Stats.counter stats "l1code.misses";
         c_l1code_installs = Stats.counter stats "l1code.installs";
         c_blocks = Stats.counter stats "exec.blocks";
-        c_syscalls = Stats.counter stats "exec.syscalls" };
+        c_syscalls = Stats.counter stats "exec.syscalls";
+        c_l1code_corrupt = Stats.counter stats "corrupt.l1code_detected";
+        c_silent_corruptions = Stats.counter stats "corrupt.silent" };
     cfg;
     layout;
     prog;
@@ -335,7 +339,9 @@ and exec_load t insn w rd base off =
       let issue = t.t_local in
       t.t_local <- t.t_local + t.cfg.Config.l1d_occupancy;
       t.regs.(rd) <- v;
-      let { Cache.hit; writeback } = Cache.access t.l1d ~addr ~write:false in
+      let { Cache.hit; writeback; parity = _ } =
+        Cache.access t.l1d ~addr ~write:false
+      in
       if hit then begin
         t.ready_at.(rd) <- issue + t.cfg.Config.l1d_hit_latency;
         t.pc <- t.pc + 1;
@@ -413,7 +419,9 @@ and exec_store t w rv base off =
         Code_cache.L1.flush t.l1;
         t.t_local <- t.t_local + 400
       end;
-      let { Cache.hit; writeback } = Cache.access t.l1d ~addr ~write:true in
+      let { Cache.hit; writeback; parity = _ } =
+        Cache.access t.l1d ~addr ~write:true
+      in
       if not hit then begin
         Stats.bump t.k.c_l1d_store_misses;
         (match writeback with
@@ -494,7 +502,10 @@ and dispatch t ~chain_slot target =
             let now = Event_queue.now t.q in
             if now > t.t_local then t.t_local <- now;
             let install_cost =
-              Block.size_bytes block / t.cfg.Config.l1_install_bytes_per_cycle
+              (Block.size_bytes block / t.cfg.Config.l1_install_bytes_per_cycle)
+              + (if t.cfg.Config.fault_tolerance then
+                   t.cfg.Config.checksum_cycles
+                 else 0)
             in
             t.t_local <- t.t_local + max 1 install_cost;
             let next_entry = Code_cache.L1.install t.l1 block in
@@ -510,7 +521,35 @@ and set_chain t chain_slot next_entry =
     | Some (entry, `Fall) -> entry.Code_cache.L1.chain_fall <- Some next_entry
     | None -> ()
 
+(* Every block entry — dispatch hit, fill install, or chained transfer —
+   funnels through here, so this is where dispatch-time integrity
+   verification lives: a resident entry whose stored sum no longer matches
+   the block content is never executed. *)
 and enter t next_entry =
+  if next_entry.Code_cache.L1.stored_sum
+     <> next_entry.Code_cache.L1.block.Block.checksum
+  then
+    if t.cfg.Config.fault_tolerance then begin
+      (* The L1 copy took a soft error. Flush the whole L1 (chain links
+         may point at the corrupt entry) and refetch from the hierarchy —
+         the L2 master copy re-verifies on the way back. *)
+      Stats.bump t.k.c_l1code_corrupt;
+      t.t_local <- t.t_local + t.cfg.Config.checksum_cycles;
+      let target = next_entry.Code_cache.L1.block.Block.guest_addr in
+      Code_cache.L1.flush t.l1;
+      t.entry <- None;
+      dispatch t ~chain_slot:None target
+    end
+    else begin
+      (* Unprotected configuration: the corruption goes unnoticed. The
+         integrity tests assert this counter is identically zero whenever
+         fault tolerance is armed. *)
+      Stats.bump t.k.c_silent_corruptions;
+      enter_unchecked t next_entry
+    end
+  else enter_unchecked t next_entry
+
+and enter_unchecked t next_entry =
   t.entry <- Some next_entry;
   t.pc <- 0;
   t.guest_insns <- t.guest_insns + next_entry.block.guest_insns;
@@ -565,6 +604,8 @@ and wake t =
     step t
   | Running | Wait_reg _ | Wait_capacity _ | Wait_fill | Wait_syscall
   | Finished -> ()
+
+let corrupt_l1code t ~salt = Code_cache.L1.corrupt_one t.l1 ~salt
 
 let start t ~fuel ~on_finish =
   t.fuel <- fuel;

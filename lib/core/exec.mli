@@ -48,6 +48,13 @@ val finished : t -> bool
 val slow_syscall : t -> factor:int -> cycles:int -> unit
 (** Degrade the syscall proxy tile (fault injection). *)
 
+val corrupt_l1code : t -> salt:int -> bool
+(** Soft error in the execution tile's instruction memory: flip a bit in
+    the stored sum of a resident L1 code entry. Detected at the next entry
+    of that block (with fault tolerance armed the L1 is flushed and the
+    block refetched; corrupt code is never executed); false when the L1 is
+    empty and the fault is absorbed. *)
+
 val guest_instructions : t -> int
 val output : t -> string
 val guest_reg : t -> Insn.reg -> int

@@ -1,11 +1,30 @@
 open Vat_desim
 open Vat_tiled
 
-type mgr_req =
-  | Fill of { addr : int; reply : Block.t -> unit }
-  | Translated of { slave : int; block : Block.t; gens : (int * int) list }
+(* Code deliveries (fill replies, install messages) carry the sending
+   side's copy of the block checksum alongside the block. A soft error on
+   the wire or in a cache bank shows up as a sum that no longer matches
+   the block content, and the receiving side discards the delivery instead
+   of executing corrupt code. *)
 
-type l15_req = { addr : int; bank : int; reply : Block.t -> unit }
+type mgr_req =
+  | Fill of { addr : int; corrupt : bool; reply : Block.t -> int -> unit }
+      (** [corrupt] marks a request whose eventual code delivery was
+          garbled in flight: the manager serves it with a tampered sum. *)
+  | Translated of {
+      seq : int;
+      slave : int;
+      block : Block.t;
+      sum : int;
+      gens : (int * int) list;
+    }
+
+type l15_req = {
+  addr : int;
+  bank : int;
+  corrupt : bool;
+  reply : Block.t -> int -> unit;
+}
 
 type slave = {
   mutable busy : bool;
@@ -15,6 +34,10 @@ type slave = {
   mutable slow_factor : int;
   mutable slow_until : int;
 }
+
+(* An install message awaiting the manager's ack. Presence in [unacked]
+   means not yet acknowledged; the sending slave retransmits on deadline. *)
+type pending = { p_slave : int; p_addr : int }
 
 type t = {
   q : Event_queue.t;
@@ -28,7 +51,12 @@ type t = {
   l15_banks : Code_cache.L15.t array;
   spec : Spec.t;
   slaves : slave array;
-  waiters : (int, (Block.t -> unit) list) Hashtbl.t;
+  waiters : (int, (Block.t -> int -> unit) list) Hashtbl.t;
+  slave_corruptions : int array;      (* detected per slave, for quarantine *)
+  l15_corruptions : int array;        (* detected per L1.5 bank *)
+  unacked : (int, pending) Hashtbl.t;
+  acked : (int, unit) Hashtbl.t;
+  mutable next_seq : int;
   mutable l15_alive : int array;      (* physical bank indexes still alive *)
   mutable mgr_service : mgr_req Service.t option;
   mutable l15_services : l15_req Service.t array;
@@ -79,11 +107,7 @@ let rec kick_slaves t =
           if not s.failed then begin
             s.busy <- false;
             s.current <- None;
-            Service.submit (mgr t)
-              ~delay:(Layout.lat_manager_slave t.layout (slave_pool_slot t i))
-              (Translated { slave = i; block; gens });
-            if t.cfg.Config.fault_tolerance then
-              watch_install t block.Block.guest_addr;
+            send_install t i block gens;
             (* A slave that was deactivated mid-block finishes it first. *)
             notify_drained t;
             kick_slaves t
@@ -91,17 +115,48 @@ let rec kick_slaves t =
       kick_slaves t
   end
 
-(* Deadline on slave dispatch: if the Translated message was lost (dropped
-   request, manager transiently deaf), the address would stay in-flight
-   forever and every future demand would be ignored. Requeue it. *)
-and watch_install t addr =
-  Event_queue.after t.q ~delay:t.cfg.Config.fill_deadline_cycles (fun () ->
-      if Spec.is_known t.spec addr && not (Spec.is_done t.spec addr) then begin
-        Stats.incr t.stats "fault.translations_requeued";
-        Spec.forget t.spec addr;
-        if Hashtbl.mem t.waiters addr then Spec.request_demand t.spec addr;
-        kick_slaves t
-      end)
+(* Sequence-numbered install with ack deadline. The manager acks every
+   accepted (or duplicate) install; a delivery that was dropped or whose
+   sum was garbled draws no ack, and the slave retransmits with
+   exponential backoff. After the retry budget the translation is requeued
+   wholesale — this also covers what the old install watchdog did for
+   plain message loss. *)
+and send_install t i (block : Block.t) gens =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let submit () =
+    Service.submit (mgr t)
+      ~delay:(Layout.lat_manager_slave t.layout (slave_pool_slot t i))
+      (Translated { seq; slave = i; block; sum = block.Block.checksum; gens })
+  in
+  submit ();
+  if t.cfg.Config.fault_tolerance then begin
+    let addr = block.Block.guest_addr in
+    Hashtbl.replace t.unacked seq { p_slave = i; p_addr = addr };
+    let rec watch retries deadline =
+      Event_queue.after t.q ~delay:deadline (fun () ->
+          if Hashtbl.mem t.unacked seq then begin
+            if retries < t.cfg.Config.ack_max_retries
+               && not t.slaves.(i).failed
+            then begin
+              Stats.incr t.stats "corrupt.install_retransmits";
+              submit ();
+              watch (retries + 1) (deadline * t.cfg.Config.fill_backoff_mult)
+            end
+            else begin
+              Hashtbl.remove t.unacked seq;
+              Stats.incr t.stats "fault.translations_requeued";
+              if not (Spec.is_done t.spec addr) then begin
+                Spec.forget t.spec addr;
+                if Hashtbl.mem t.waiters addr then
+                  Spec.request_demand t.spec addr;
+                kick_slaves t
+              end
+            end
+          end)
+    in
+    watch 0 t.cfg.Config.ack_deadline_cycles
+  end
 
 and notify_drained t =
   if t.drain_waiters <> [] && Array.for_all (fun s -> s.active || not s.busy) t.slaves
@@ -110,6 +165,13 @@ and notify_drained t =
     t.drain_waiters <- [];
     List.iter (fun w -> w ()) ws
   end
+
+(* The ack travels back over the network; until it lands the slave side
+   still counts the install as unacknowledged. *)
+let send_ack t seq slave =
+  Event_queue.after t.q
+    ~delay:(Layout.lat_manager_slave t.layout (slave_pool_slot t slave))
+    (fun () -> Hashtbl.remove t.unacked seq)
 
 let add_waiter t addr reply =
   let existing = Option.value ~default:[] (Hashtbl.find_opt t.waiters addr) in
@@ -121,26 +183,39 @@ let add_waiter t addr reply =
 let stream_cycles t (block : Block.t) =
   Block.size_bytes block / t.cfg.Config.l1_install_bytes_per_cycle
 
+let verify_cost t = if t.cfg.Config.fault_tolerance then t.cfg.Config.checksum_cycles else 0
+
 let serve_mgr t req =
+  let ft = t.cfg.Config.fault_tolerance in
   match req with
-  | Fill { addr; reply } ->
+  | Fill { addr; corrupt; reply } ->
     Stats.incr t.stats "l2code.accesses";
     (match Code_cache.L2.find t.l2 addr with
-     | Some block ->
+     | Some (block, sum) when (not ft) || sum = block.Block.checksum ->
        (* The L2 code cache lives in off-chip DRAM: the manager fetches
           the block before streaming it. *)
        let occupancy =
          t.cfg.Config.mgr_lookup_cycles + t.cfg.Config.dram_cycles
-         + stream_cycles t block
+         + stream_cycles t block + verify_cost t
        in
        ( occupancy,
          fun () ->
            Event_queue.after t.q
              ~delay:(Layout.lat_manager_exec t.layout)
-             (fun () -> reply block) )
-     | None ->
+             (fun () ->
+               let sum = if corrupt then sum lxor 0x2000 else sum in
+               reply block sum) )
+     | found ->
+       (match found with
+        | Some _ ->
+          (* Stored sum no longer matches the content: the resident line
+             took a soft error. Discard and demand retranslation — corrupt
+             code is never served. *)
+          Stats.incr t.stats "corrupt.l2code_detected";
+          Code_cache.L2.remove t.l2 addr
+        | None -> ());
        Stats.incr t.stats "l2code.misses";
-       ( t.cfg.Config.mgr_lookup_cycles,
+       ( t.cfg.Config.mgr_lookup_cycles + verify_cost t,
          fun () ->
            add_waiter t addr reply;
            (* If the block was invalidated (SMC) or evicted after being
@@ -148,75 +223,114 @@ let serve_mgr t req =
            Spec.forget_done t.spec addr;
            Spec.request_demand t.spec addr;
            kick_slaves t ))
-  | Translated { slave = _; block; gens } ->
+  | Translated { seq; slave; block; sum; gens } ->
     (* Installs drain through a DRAM write buffer: the manager only pays
        the bookkeeping and half-rate streaming, not the DRAM round trip
        (fills, which execution waits on, still do). *)
     let occupancy =
       t.cfg.Config.mgr_install_cycles + (stream_cycles t block / 2)
+      + verify_cost t
     in
     ( occupancy,
       fun () ->
-        let stale =
-          List.exists (fun (p, g) -> t.page_gen ~page:p <> g) gens
-        in
-        if stale then begin
-          (* A guest store raced with this translation: drop the stale
-             block; anyone waiting triggers a fresh translation. *)
-          Stats.incr t.stats "smc.stale_translations";
-          Spec.forget t.spec block.guest_addr;
-          if Hashtbl.mem t.waiters block.guest_addr then begin
-            Spec.request_demand t.spec block.guest_addr;
-            kick_slaves t
-          end
+        if ft && Hashtbl.mem t.acked seq then begin
+          (* A retransmit of an install we already accepted: idempotent —
+             just re-ack so the slave stops resending. *)
+          Stats.incr t.stats "corrupt.duplicate_installs";
+          send_ack t seq slave
+        end
+        else if ft && sum <> block.Block.checksum then begin
+          (* Garbled delivery. No ack: the slave's deadline retransmits a
+             clean copy. The corruption is charged to the slave's link for
+             the quarantine monitor. *)
+          Stats.incr t.stats "corrupt.install_rejected";
+          t.slave_corruptions.(slave) <- t.slave_corruptions.(slave) + 1
         end
         else begin
-        Code_cache.L2.install t.l2 block;
-        Spec.mark_done t.spec block.guest_addr;
-        Spec.note_block_translated t.spec block;
-        (match Hashtbl.find_opt t.waiters block.guest_addr with
-         | None -> ()
-         | Some replies ->
-           Hashtbl.remove t.waiters block.guest_addr;
-           let delay = Layout.lat_manager_exec t.layout in
-           List.iter
-             (fun reply ->
-               Event_queue.after t.q ~delay (fun () -> reply block))
-             replies)
+          if ft then begin
+            Hashtbl.replace t.acked seq ();
+            send_ack t seq slave
+          end;
+          let stale =
+            List.exists (fun (p, g) -> t.page_gen ~page:p <> g) gens
+          in
+          if stale then begin
+            (* A guest store raced with this translation: drop the stale
+               block; anyone waiting triggers a fresh translation. *)
+            Stats.incr t.stats "smc.stale_translations";
+            Spec.forget t.spec block.guest_addr;
+            if Hashtbl.mem t.waiters block.guest_addr then begin
+              Spec.request_demand t.spec block.guest_addr;
+              kick_slaves t
+            end
+          end
+          else begin
+            Code_cache.L2.install t.l2 block;
+            Spec.mark_done t.spec block.guest_addr;
+            Spec.note_block_translated t.spec block;
+            (match Hashtbl.find_opt t.waiters block.guest_addr with
+             | None -> ()
+             | Some replies ->
+               Hashtbl.remove t.waiters block.guest_addr;
+               let delay = Layout.lat_manager_exec t.layout in
+               List.iter
+                 (fun reply ->
+                   Event_queue.after t.q ~delay (fun () ->
+                       reply block block.Block.checksum))
+                 replies)
+          end
         end;
         kick_slaves t )
 
-let serve_l15 t { addr; bank; reply } =
+let serve_l15 t { addr; bank; corrupt; reply } =
+  let ft = t.cfg.Config.fault_tolerance in
   match Code_cache.L15.find t.l15_banks.(bank) addr with
-  | Some block ->
+  | Some (block, sum) when (not ft) || sum = block.Block.checksum ->
     Stats.incr t.stats "l15.hits";
-    ( t.cfg.Config.l15_lookup_cycles + stream_cycles t block,
+    ( t.cfg.Config.l15_lookup_cycles + stream_cycles t block + verify_cost t,
       fun () ->
+        let sum =
+          if corrupt then begin
+            t.l15_corruptions.(bank) <- t.l15_corruptions.(bank) + 1;
+            sum lxor 0x4000
+          end
+          else sum
+        in
         (* Reply straight back to the execution tile. *)
         Event_queue.after t.q
           ~delay:(Layout.lat_exec_l15 t.layout bank)
-          (fun () -> reply block) )
-  | None ->
+          (fun () -> reply block sum) )
+  | found ->
+    (match found with
+     | Some _ ->
+       (* Resident copy took a soft error: drop it and refetch from the
+          manager, exactly as if it had been evicted. *)
+       Stats.incr t.stats "corrupt.l15code_detected";
+       t.l15_corruptions.(bank) <- t.l15_corruptions.(bank) + 1;
+       Code_cache.L15.remove t.l15_banks.(bank) addr
+     | None -> ());
     Stats.incr t.stats "l15.misses";
-    ( t.cfg.Config.l15_lookup_cycles,
+    ( t.cfg.Config.l15_lookup_cycles + verify_cost t,
       fun () ->
         (* Forward to the manager; when the block comes back, keep a copy
-           in this bank before handing it to the execution tile. *)
-        let reply_installing block =
-          Code_cache.L15.install t.l15_banks.(bank) block;
-          reply block
+           in this bank before handing it to the execution tile. A
+           delivery whose sum fails verification is not cached. *)
+        let reply_installing block sum =
+          if (not ft) || sum = (block : Block.t).checksum then
+            Code_cache.L15.install ~sum t.l15_banks.(bank) block;
+          reply block sum
         in
         Service.submit (mgr t)
           ~delay:(Layout.lat_l15_manager t.layout bank)
-          (Fill { addr; reply = reply_installing }) )
+          (Fill { addr; corrupt; reply = reply_installing }) )
 
 (* A request reaching a dead L1.5 bank falls through to the manager (the
    network re-routes; the bank's caching is simply lost). *)
-let reroute_l15 t { addr; bank; reply } =
+let reroute_l15 t { addr; bank; corrupt; reply } =
   Stats.incr t.stats "fault.l15_reroutes";
   Service.submit (mgr t)
     ~delay:(Layout.lat_l15_manager t.layout bank)
-    (Fill { addr; reply })
+    (Fill { addr; corrupt; reply })
 
 let create ?memo q stats cfg layout ~fetch ~page_gen =
   let t =
@@ -241,17 +355,28 @@ let create ?memo q stats cfg layout ~fetch ~page_gen =
               slow_factor = 1;
               slow_until = 0 });
       waiters = Hashtbl.create 64;
+      slave_corruptions = Array.make 9 0;
+      l15_corruptions = Array.make (max 1 cfg.Config.n_l15_banks) 0;
+      unacked = Hashtbl.create 16;
+      acked = Hashtbl.create 256;
+      next_seq = 0;
       l15_alive = Array.init cfg.Config.n_l15_banks (fun i -> i);
       mgr_service = None;
       l15_services = [||];
       drain_waiters = [] }
   in
   t.mgr_service <- Some (Service.create q ~name:"code-manager" ~serve:(serve_mgr t));
+  Service.set_corrupt_handler (mgr t) (function
+    | Fill { addr; corrupt = _; reply } -> Fill { addr; corrupt = true; reply }
+    | Translated { seq; slave; block; sum; gens } ->
+      Translated { seq; slave; block; sum = sum lxor 0x1000; gens });
   t.l15_services <-
     Array.init (max 1 cfg.Config.n_l15_banks) (fun _i ->
         Service.create q ~name:"l15" ~serve:(serve_l15 t));
   Array.iter
-    (fun svc -> Service.set_reject_handler svc (reroute_l15 t))
+    (fun svc ->
+      Service.set_reject_handler svc (reroute_l15 t);
+      Service.set_corrupt_handler svc (fun r -> { r with corrupt = true }))
     t.l15_services;
   t
 
@@ -268,46 +393,59 @@ let submit_fill_once t ~addr ~reply =
   | Some bank ->
     Service.submit t.l15_services.(bank)
       ~delay:(Layout.lat_exec_l15 t.layout bank)
-      { addr; bank; reply }
+      { addr; bank; corrupt = false; reply }
   | None ->
     Service.submit (mgr t)
       ~delay:(Layout.lat_exec_manager t.layout)
-      (Fill { addr; reply })
+      (Fill { addr; corrupt = false; reply })
 
 (* Degraded path once retries are exhausted: the manager stops waiting for
    the slave pool and translates (or re-reads) the block itself. Data is
-   functional, so this changes timing, never semantics. *)
+   functional, so this changes timing, never semantics. Only reachable
+   with fault tolerance armed, so the integrity check is unconditional. *)
 let degraded_fill t ~addr ~reply =
   Stats.incr t.stats "fault.demand_translates";
+  let fresh () =
+    let b, _gens =
+      Translate.translate_memo ?memo:t.memo t.cfg ~fetch:t.fetch
+        ~page_gen:t.page_gen ~guest_addr:addr
+    in
+    Code_cache.L2.install t.l2 b;
+    Spec.mark_done t.spec addr;
+    Spec.note_block_translated t.spec b;
+    b
+  in
   let block =
     match Code_cache.L2.find t.l2 addr with
-    | Some b -> b
-    | None ->
-      let b, _gens =
-        Translate.translate_memo ?memo:t.memo t.cfg ~fetch:t.fetch
-          ~page_gen:t.page_gen ~guest_addr:addr
-      in
-      Code_cache.L2.install t.l2 b;
-      Spec.mark_done t.spec addr;
-      Spec.note_block_translated t.spec b;
-      b
+    | Some (b, sum) when sum = b.Block.checksum -> b
+    | Some _ ->
+      Stats.incr t.stats "corrupt.l2code_detected";
+      Code_cache.L2.remove t.l2 addr;
+      fresh ()
+    | None -> fresh ()
   in
   Event_queue.after t.q
     ~delay:
       (t.cfg.Config.demand_translate_penalty_cycles
       + Layout.lat_manager_exec t.layout)
-    (fun () -> reply block)
+    (fun () -> reply block block.Block.checksum)
 
 let request_fill t ~addr ~on_ready =
   if not t.cfg.Config.fault_tolerance then
-    submit_fill_once t ~addr ~reply:on_ready
+    submit_fill_once t ~addr ~reply:(fun block _sum -> on_ready block)
   else begin
-    (* First reply wins; duplicates from retried requests are dropped. *)
+    (* First verified reply wins; duplicates from retried requests and
+       deliveries whose sum fails the end-to-end check are dropped (the
+       deadline machinery fetches a clean copy). *)
     let done_ = ref false in
-    let reply block =
+    let reply block sum =
       if not !done_ then begin
-        done_ := true;
-        on_ready block
+        if sum <> (block : Block.t).checksum then
+          Stats.incr t.stats "corrupt.fill_rejected"
+        else begin
+          done_ := true;
+          on_ready block
+        end
       end
     in
     let rec attempt retries deadline =
@@ -364,14 +502,14 @@ let set_active_slaves t n ~on_done =
 (* Fault injection                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let fail_translator t i =
+let retire_slave t i ~stat =
   if i < 0 || i >= Array.length t.slaves then
-    invalid_arg "Manager.fail_translator";
+    invalid_arg "Manager.retire_slave";
   let s = t.slaves.(i) in
   if not s.failed then begin
     s.failed <- true;
     s.active <- false;
-    Stats.incr t.stats "fault.translator_evictions";
+    Stats.incr t.stats stat;
     (match s.current with
      | Some addr ->
        (* The in-flight block dies with the tile: requeue it if anyone is
@@ -382,9 +520,28 @@ let fail_translator t i =
      | None -> ());
     s.busy <- false;
     s.current <- None;
+    (* Unacked installs lose their retransmitter; requeue the addresses
+       unless the original delivery already landed. *)
+    let doomed =
+      Hashtbl.fold
+        (fun seq p acc -> if p.p_slave = i then (seq, p.p_addr) :: acc else acc)
+        t.unacked []
+    in
+    List.iter
+      (fun (seq, addr) ->
+        Hashtbl.remove t.unacked seq;
+        if not (Spec.is_done t.spec addr) then begin
+          Stats.incr t.stats "fault.translations_requeued";
+          Spec.forget t.spec addr;
+          if Hashtbl.mem t.waiters addr then Spec.request_demand t.spec addr
+        end)
+      doomed;
     notify_drained t;
     kick_slaves t
   end
+
+let fail_translator t i = retire_slave t i ~stat:"fault.translator_evictions"
+let quarantine_slave t i = retire_slave t i ~stat:"corrupt.quarantined_slaves"
 
 let slow_translator t i ~factor ~cycles =
   if i < 0 || i >= Array.length t.slaves then
@@ -401,21 +558,47 @@ let slow_translator t i ~factor ~cycles =
 
 let alive_l15_banks t = Array.length t.l15_alive
 
-let fail_l15_bank t i =
+let retire_l15 t i ~stat =
   if i < 0 || i >= Array.length t.l15_services then
-    invalid_arg "Manager.fail_l15_bank";
+    invalid_arg "Manager.retire_l15";
   if Array.exists (( = ) i) t.l15_alive then begin
-    Stats.incr t.stats "fault.l15_failures";
+    Stats.incr t.stats stat;
     t.l15_alive <- Array.of_list (List.filter (( <> ) i) (Array.to_list t.l15_alive));
     let orphans = Service.fail t.l15_services.(i) in
     List.iter (reroute_l15 t) orphans
   end
+
+let fail_l15_bank t i = retire_l15 t i ~stat:"fault.l15_failures"
+let quarantine_l15 t i = retire_l15 t i ~stat:"corrupt.quarantined_l15"
 
 let l15_drop t i n = Service.drop_next t.l15_services.(i) n
 let l15_slow t i ~factor ~cycles = Service.slow t.l15_services.(i) ~factor ~cycles
 let mgr_drop t n = Service.drop_next (mgr t) n
 let mgr_slow t ~factor ~cycles = Service.slow (mgr t) ~factor ~cycles
 
+let mgr_corrupt_next t n = Service.corrupt_next (mgr t) n
+let mgr_duplicate_next t n = Service.duplicate_next (mgr t) n
+let l15_corrupt_next t i n = Service.corrupt_next t.l15_services.(i) n
+let l15_duplicate_next t i n = Service.duplicate_next t.l15_services.(i) n
+
+let corrupt_l15_store t i ~salt =
+  if i < 0 || i >= Array.length t.l15_banks then
+    invalid_arg "Manager.corrupt_l15_store";
+  Code_cache.L15.corrupt_one t.l15_banks.(i) ~salt
+
+let corrupt_l2code t ~salt = Code_cache.L2.corrupt_one t.l2 ~salt
+
+let slave_corruptions t = Array.copy t.slave_corruptions
+let l15_bank_corruptions t = Array.copy t.l15_corruptions
+
 let dropped_requests t =
   Service.dropped (mgr t)
   + Array.fold_left (fun acc s -> acc + Service.dropped s) 0 t.l15_services
+
+let corrupted_messages t =
+  Service.corrupted (mgr t)
+  + Array.fold_left (fun acc s -> acc + Service.corrupted s) 0 t.l15_services
+
+let duplicated_messages t =
+  Service.duplicated (mgr t)
+  + Array.fold_left (fun acc s -> acc + Service.duplicated s) 0 t.l15_services

@@ -62,8 +62,15 @@ val busy_slaves : t -> int
     per-request deadline: a fill whose reply does not arrive is retried
     with exponential backoff, and after the retry budget is spent the
     manager demand-translates the block itself (degraded but correct).
-    Slave dispatch carries the same deadline, requeueing translations
-    whose install message was lost. *)
+
+    End-to-end integrity: every code delivery (fill reply, install
+    message) carries the sender's copy of the block checksum, and every
+    receiver verifies it before the code may be cached or executed. A
+    garbled fill is discarded at the execution tile and the deadline
+    machinery fetches a clean copy; a garbled install draws no ack and the
+    slave retransmits (sequence numbers make duplicate deliveries
+    idempotent); a resident L2/L1.5 line whose stored sum stops matching
+    is dropped and retranslated on demand. Corrupt code is never run. *)
 
 val fail_translator : t -> int -> unit
 (** Fail-stop slave [i]: permanently evicted from the pool; its in-flight
@@ -87,5 +94,41 @@ val l15_slow : t -> int -> factor:int -> cycles:int -> unit
 val mgr_drop : t -> int -> unit
 val mgr_slow : t -> factor:int -> cycles:int -> unit
 
+(** {2 Transient-corruption injection} *)
+
+val mgr_corrupt_next : t -> int -> unit
+(** Garble the next [n] messages through the manager service: a fill is
+    served with a tampered sum, an install arrives with one. *)
+
+val mgr_duplicate_next : t -> int -> unit
+(** Deliver the next [n] manager messages twice. *)
+
+val l15_corrupt_next : t -> int -> int -> unit
+val l15_duplicate_next : t -> int -> int -> unit
+
+val corrupt_l15_store : t -> int -> salt:int -> bool
+(** Flip a bit in the stored sum of a resident line of L1.5 bank [i];
+    false when the bank holds nothing (fault absorbed). *)
+
+val corrupt_l2code : t -> salt:int -> bool
+(** Same for the manager's L2 code cache. *)
+
+val quarantine_slave : t -> int -> unit
+(** Retire a slave whose deliveries keep failing verification — same
+    mechanics as {!fail_translator}, separate accounting. *)
+
+val quarantine_l15 : t -> int -> unit
+
+val slave_corruptions : t -> int array
+(** Detected corruption events charged to each slave's install link (what
+    the quarantine monitor samples). *)
+
+val l15_bank_corruptions : t -> int array
+
 val dropped_requests : t -> int
 (** Requests lost to faults across the manager and L1.5 services. *)
+
+val corrupted_messages : t -> int
+(** Messages garbled in flight across the manager and L1.5 services. *)
+
+val duplicated_messages : t -> int

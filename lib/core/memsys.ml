@@ -20,9 +20,11 @@ type t = {
   mutable bank_map : int array; (* logical bank -> physical bank *)
   alive : bool array;           (* physical bank still working *)
   banks : Cache.t array;        (* up to the maximum bank count *)
+  bank_corruptions : int array; (* detected per bank, for quarantine *)
   mutable mmu : mmu_req Service.t option;
   mutable bank_services : bank_req Service.t array;
   mutable reconfiguring : bool;
+  mutable on_fatal : (string -> unit) option;
 }
 
 let the_mmu t =
@@ -93,7 +95,7 @@ let make_bank_service t idx =
   Service.create t.q ~name:(Printf.sprintf "l2d_bank%d" idx)
     ~serve:(fun { paddr; bwrite; bank; bon_done } ->
       let cache = t.banks.(bank) in
-      let { Cache.hit; writeback } =
+      let { Cache.hit; writeback; parity } =
         Cache.access cache ~addr:(bank_local_addr t paddr) ~write:bwrite
       in
       Stats.incr t.stats "l2d.accesses";
@@ -110,9 +112,30 @@ let make_bank_service t idx =
              | None -> 0)
         end
       in
+      (* Parity on the banked L2D: a corrupt clean line is scrubbed and
+         refetched from DRAM (time, never wrong data); a corrupt dirty
+         line held the only copy of its data, so the access must fail
+         loudly — never return a silent wrong value. *)
+      let occupancy, fatal =
+        match parity with
+        | Cache.Parity_ok -> (occupancy, None)
+        | Cache.Corrected ->
+          Stats.incr t.stats "corrupt.parity_corrected";
+          t.bank_corruptions.(bank) <- t.bank_corruptions.(bank) + 1;
+          (occupancy + t.cfg.Config.dram_cycles, None)
+        | Cache.Uncorrectable ->
+          Stats.incr t.stats "corrupt.parity_uncorrectable";
+          t.bank_corruptions.(bank) <- t.bank_corruptions.(bank) + 1;
+          ( occupancy,
+            Some (Printf.sprintf "uncorrectable L2D parity error (bank %d)" bank) )
+      in
       let reply_latency = Layout.lat_bank_exec t.layout bank in
       ( occupancy,
-        fun () -> Event_queue.after t.q ~delay:reply_latency bon_done ))
+        fun () ->
+          (match fatal with
+           | Some msg -> (match t.on_fatal with Some f -> f msg | None -> ())
+           | None -> ());
+          Event_queue.after t.q ~delay:reply_latency bon_done ))
 
 let make_mmu t =
   Service.create t.q ~name:"mmu"
@@ -165,9 +188,11 @@ let create q stats cfg layout ~page_table =
       bank_map = Array.init n_banks (fun i -> i);
       alive = Array.make max_banks true;
       banks;
+      bank_corruptions = Array.make max_banks 0;
       mmu = None;
       bank_services = [||];
-      reconfiguring = false }
+      reconfiguring = false;
+      on_fatal = None }
   in
   t.mmu <- Some (make_mmu t);
   t.bank_services <- Array.init max_banks (make_bank_service t);
@@ -265,11 +290,11 @@ let reconfigure_banks t n ~on_done =
 (* Fault injection                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let fail_bank t i =
-  if i < 0 || i >= max_banks then invalid_arg "Memsys.fail_bank";
+let retire_bank t i ~stat =
+  if i < 0 || i >= max_banks then invalid_arg "Memsys.retire_bank";
   if t.alive.(i) then begin
     t.alive.(i) <- false;
-    Stats.incr t.stats "fault.l2d_bank_failures";
+    Stats.incr t.stats stat;
     (* Queued and in-flight requests die with the tile; the access-level
        retry deadline recovers them. *)
     ignore (Service.fail t.bank_services.(i));
@@ -281,16 +306,49 @@ let fail_bank t i =
           Stats.add t.stats "fault.rebank_writebacks" dirty)
   end
 
+let fail_bank t i = retire_bank t i ~stat:"fault.l2d_bank_failures"
+let quarantine_bank t i = retire_bank t i ~stat:"corrupt.quarantined_banks"
+
 let alive_banks t = alive_count t
+let bank_alive t i = i >= 0 && i < max_banks && t.alive.(i)
+
+let set_fatal_handler t f = t.on_fatal <- Some f
+
+let corrupt_bank t i ~salt ~allow_dirty =
+  if i < 0 || i >= max_banks then invalid_arg "Memsys.corrupt_bank";
+  Cache.corrupt_line t.banks.(i) ~salt ~allow_dirty
+
+let bank_corruptions t = Array.copy t.bank_corruptions
 
 let bank_drop t i n = Service.drop_next t.bank_services.(i) n
 let bank_slow t i ~factor ~cycles = Service.slow t.bank_services.(i) ~factor ~cycles
 let mmu_drop t n = Service.drop_next (the_mmu t) n
 let mmu_slow t ~factor ~cycles = Service.slow (the_mmu t) ~factor ~cycles
 
+(* No corrupt transformer is installed on the data-path services: a
+   bit-flipped MMU or bank request is undecodable and is dropped at
+   arrival (counted by the service), and the access-level deadline retry
+   recovers it. Duplicated deliveries are absorbed by the first-reply-wins
+   dedup in [access]. *)
+let bank_corrupt_next t i n = Service.corrupt_next t.bank_services.(i) n
+let bank_duplicate_next t i n = Service.duplicate_next t.bank_services.(i) n
+let mmu_corrupt_next t n = Service.corrupt_next (the_mmu t) n
+let mmu_duplicate_next t n = Service.duplicate_next (the_mmu t) n
+
 let dropped_requests t =
   Service.dropped (the_mmu t)
   + Array.fold_left (fun acc s -> acc + Service.dropped s) 0 t.bank_services
+
+let corrupted_messages t =
+  Service.corrupted (the_mmu t)
+  + Array.fold_left (fun acc s -> acc + Service.corrupted s) 0 t.bank_services
+
+let duplicated_messages t =
+  Service.duplicated (the_mmu t)
+  + Array.fold_left (fun acc s -> acc + Service.duplicated s) 0 t.bank_services
+
+let parity_events t =
+  Array.fold_left (fun acc c -> acc + Cache.parity_events c) 0 t.banks
 
 let bank_queue_total t =
   Array.fold_left (fun acc s -> acc + Service.queue_length s) 0 t.bank_services

@@ -44,13 +44,52 @@ val fail_bank : t -> int -> unit
     accesses straight from DRAM. *)
 
 val alive_banks : t -> int
+val bank_alive : t -> int -> bool
 val bank_drop : t -> int -> int -> unit
 val bank_slow : t -> int -> factor:int -> cycles:int -> unit
 val mmu_drop : t -> int -> unit
 val mmu_slow : t -> factor:int -> cycles:int -> unit
 
+(** {2 Transient corruption}
+
+    The banks model parity: a detected-corrupt {e clean} line is scrubbed
+    and refetched from DRAM (the access just costs more cycles); a
+    detected-corrupt {e dirty} line lost the only copy of its data, so the
+    fatal handler fires — the run ends in a clean fault, never a silent
+    wrong value. *)
+
+val set_fatal_handler : t -> (string -> unit) -> unit
+(** Called on an uncorrectable parity error (typically {!Exec.abort}). *)
+
+val corrupt_bank :
+  t -> int -> salt:int -> allow_dirty:bool -> [ `Clean | `Dirty | `Absorbed ]
+(** Flip bits in a resident line of physical bank [i] (see
+    {!Vat_tiled.Cache.corrupt_line}). *)
+
+val quarantine_bank : t -> int -> unit
+(** Retire a bank whose parity-error rate crossed the quarantine
+    threshold — same mechanics as {!fail_bank}, separate accounting. *)
+
+val bank_corruptions : t -> int array
+(** Detected parity events per physical bank (what the quarantine monitor
+    samples). *)
+
+val bank_corrupt_next : t -> int -> int -> unit
+(** Garble the next [n] requests arriving at bank [i]; an undecodable
+    data-path message is dropped and the access deadline recovers it. *)
+
+val bank_duplicate_next : t -> int -> int -> unit
+val mmu_corrupt_next : t -> int -> unit
+val mmu_duplicate_next : t -> int -> unit
+
 val dropped_requests : t -> int
 (** Requests lost to faults across the MMU and bank services. *)
+
+val corrupted_messages : t -> int
+val duplicated_messages : t -> int
+
+val parity_events : t -> int
+(** Corrupt clean lines scrubbed across all banks. *)
 
 val bank_queue_total : t -> int
 val tlb_hits : t -> int

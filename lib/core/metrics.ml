@@ -41,6 +41,24 @@ let degraded_events r =
 
 let watchdog_aborts r = get r "fault.watchdog_aborts"
 
+let corruptions_injected r = get r "corrupt.injected"
+
+let corruptions_detected r =
+  get r "corrupt.l1code_detected" + get r "corrupt.l15code_detected"
+  + get r "corrupt.l2code_detected" + get r "corrupt.fill_rejected"
+  + get r "corrupt.install_rejected" + get r "corrupt.parity_corrected"
+  + get r "corrupt.parity_uncorrectable" + get r "corrupt.duplicate_installs"
+
+let corruptions_corrected r =
+  get r "corrupt.parity_corrected" + get r "corrupt.install_retransmits"
+  + get r "corrupt.duplicate_installs"
+
+let quarantined_tiles r =
+  get r "corrupt.quarantined_slaves" + get r "corrupt.quarantined_l15"
+  + get r "corrupt.quarantined_banks"
+
+let silent_corruptions r = get r "corrupt.silent"
+
 let summary r =
   let base =
     [ ("l2code_accesses_per_cycle", l2_code_accesses_per_cycle r);
@@ -61,7 +79,12 @@ let summary r =
         ("fault_retries", float_of_int (fault_retries r));
         ("fault_dropped_requests", float_of_int (dropped_requests r));
         ("fault_degraded_events", float_of_int (degraded_events r));
-        ("watchdog_aborts", float_of_int (watchdog_aborts r)) ]
+        ("watchdog_aborts", float_of_int (watchdog_aborts r));
+        ("corruptions_injected", float_of_int (corruptions_injected r));
+        ("corruptions_detected", float_of_int (corruptions_detected r));
+        ("corruptions_corrected", float_of_int (corruptions_corrected r));
+        ("quarantined_tiles", float_of_int (quarantined_tiles r));
+        ("silent_corruptions", float_of_int (silent_corruptions r)) ]
 
 let pp_result ppf (r : Vm.result) =
   Format.fprintf ppf "cycles %d, guest insns %d@." r.cycles r.guest_insns;

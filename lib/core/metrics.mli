@@ -34,9 +34,31 @@ val degraded_events : Vm.result -> int
 
 val watchdog_aborts : Vm.result -> int
 
+(** {2 End-to-end integrity counters} (all zero on a fault-free run) *)
+
+val corruptions_injected : Vm.result -> int
+(** Corruption-class fault events applied (payload, storage, duplicate). *)
+
+val corruptions_detected : Vm.result -> int
+(** Checksum mismatches, parity events, and duplicate installs caught at
+    any integrity checkpoint. *)
+
+val corruptions_corrected : Vm.result -> int
+(** Detected events repaired without losing work: parity scrubs, install
+    retransmissions, and idempotently re-acked duplicates (discard-and-
+    refetch recoveries surface in the detected count and in
+    {!degraded_events}). *)
+
+val quarantined_tiles : Vm.result -> int
+(** Slaves, L1.5 banks, and L2D banks retired by the quarantine monitor. *)
+
+val silent_corruptions : Vm.result -> int
+(** Corrupt blocks executed unnoticed. The integrity invariant is that
+    this is identically zero whenever fault tolerance is armed. *)
+
 val summary : Vm.result -> (string * float) list
-(** Everything above, for printing; fault counters are included only when
-    a fault was actually injected. *)
+(** Everything above, for printing; fault and corruption counters are
+    included only when a fault was actually injected. *)
 
 val get : Vm.result -> string -> int
 (** Raw counter access. *)

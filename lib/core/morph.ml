@@ -72,6 +72,22 @@ let sample t ~threshold ~dwell =
     end
   end
 
+(* Quarantine monitor: a site whose detected-corruption count crosses the
+   threshold is retired exactly like a fail-stopped tile — the fault-
+   morphing machinery (pool shrink, bank re-interleave, L1.5 re-route)
+   already knows how to live without it. The retire entry points are
+   idempotent, so re-sampling an already-quarantined site is a no-op. *)
+let quarantine_scan t ~threshold =
+  Array.iteri
+    (fun i n -> if n >= threshold then Manager.quarantine_slave t.manager i)
+    (Manager.slave_corruptions t.manager);
+  Array.iteri
+    (fun i n -> if n >= threshold then Manager.quarantine_l15 t.manager i)
+    (Manager.l15_bank_corruptions t.manager);
+  Array.iteri
+    (fun i n -> if n >= threshold then Memsys.quarantine_bank t.memsys i)
+    (Memsys.bank_corruptions t.memsys)
+
 let create q stats cfg manager memsys =
   let t =
     { q;
@@ -91,6 +107,16 @@ let create q stats cfg manager memsys =
        Event_queue.after q ~delay:cfg.Config.sample_interval loop
      in
      Event_queue.after q ~delay:cfg.Config.sample_interval loop);
+  (* The quarantine loop only runs with fault tolerance armed, so
+     fault-free runs schedule no extra events and stay byte-identical. *)
+  if cfg.Config.fault_tolerance && cfg.Config.quarantine_threshold > 0 then begin
+    let threshold = cfg.Config.quarantine_threshold in
+    let rec qloop () =
+      quarantine_scan t ~threshold;
+      Event_queue.after q ~delay:cfg.Config.sample_interval qloop
+    in
+    Event_queue.after q ~delay:cfg.Config.sample_interval qloop
+  end;
   t
 
 let morphs t = t.count

@@ -15,6 +15,13 @@ type t
 val create :
   Event_queue.t -> Stats.t -> Config.t -> Manager.t -> Memsys.t -> t
 (** Starts the sampling loop when the configuration enables morphing;
-    otherwise inert. *)
+    otherwise inert.
+
+    With {!Config.t.fault_tolerance} armed and a positive
+    {!Config.t.quarantine_threshold}, also starts the quarantine monitor:
+    every sample interval it retires any translation slave, L1.5 bank, or
+    L2D bank whose detected-corruption count has crossed the threshold,
+    using the same machinery as fail-stop eviction (a persistently flaky
+    tile is treated as a dead one). *)
 
 val morphs : t -> int

@@ -738,7 +738,8 @@ let translate cfg ~fetch ~guest_addr : Block.t =
       optimized = false;
       translation_cycles = cfg.Config.translate_base_cycles;
       page_lo = Mem.page_of guest_addr;
-      page_hi = Mem.page_of guest_addr }
+      page_hi = Mem.page_of guest_addr;
+      checksum = Block.checksum_of ~guest_addr ~code:[||] ~term:(T_fault msg) }
   | Block_of (insns, end_addr, last_addr) ->
     let arr = Array.of_list insns in
     let n = Array.length arr in
@@ -776,7 +777,8 @@ let translate cfg ~fetch ~guest_addr : Block.t =
       optimized = cfg.Config.optimize;
       translation_cycles;
       page_lo = Mem.page_of guest_addr;
-      page_hi = Mem.page_of (max guest_addr (end_addr - 1)) }
+      page_hi = Mem.page_of (max guest_addr (end_addr - 1));
+      checksum = Block.checksum_of ~guest_addr ~code ~term:!term }
 
 (* ------------------------------------------------------------------ *)
 (* Keyed translation memo                                              *)

@@ -29,6 +29,12 @@ let create ?input ?memo q stats cfg prog =
     Memsys.create q stats cfg layout ~page_table:prog.Program.page_table
   in
   let exec = Exec.create q stats cfg layout prog ~manager ~memsys ?input () in
+  (* An uncorrectable parity error (corrupt dirty L2D line: the only copy
+     of the data is gone) must end the run as a clean fault, never return
+     a silent wrong value. *)
+  Memsys.set_fatal_handler memsys (fun msg ->
+      Stats.incr stats "corrupt.uncorrectable_aborts";
+      Exec.abort exec msg);
   { i_manager = manager; i_exec = exec; i_memsys = memsys; i_layout = layout }
 
 let start t ~fuel ~on_finish = Exec.start t.i_exec ~fuel ~on_finish
@@ -41,26 +47,41 @@ let layout_of t = t.i_layout
 (* Fault injection                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let fault_menu ?(recoverable_only = true) cfg =
+(* [classes] filters each site's candidate kinds; the default (the three
+   legacy classes) provably reproduces the pre-corruption menu site for
+   site, so existing plans and the committed degradation curves replay
+   byte-identically. A site whose filtered kind list is empty is dropped. *)
+let fault_menu ?(recoverable_only = true) ?(classes = Fault.legacy_classes) cfg =
   let menu = ref [] in
   let add role index kinds =
-    menu := ({ Fault.role; index }, Array.of_list kinds) :: !menu
+    let kinds =
+      List.filter (fun k -> List.mem (Fault.class_of_kind k) classes) kinds
+    in
+    if kinds <> [] then
+      menu := ({ Fault.role; index }, Array.of_list kinds) :: !menu
   in
   let fs = Fault.Fail_stop in
   let drop = Fault.Drop_requests 4 in
   let slow = Fault.Slow { factor = 4; cycles = 20_000 } in
+  let cp = Fault.Corrupt_payload 3 in
+  let cs = Fault.Corrupt_storage in
+  let dup = Fault.Duplicate_delivery 2 in
   for i = 0 to cfg.Config.n_translators - 1 do
     add "translator" i [ fs; slow ]
   done;
   for i = 0 to min 4 cfg.Config.n_l2d_banks - 1 do
-    add "l2d" i [ fs; drop; slow ]
+    add "l2d" i [ fs; drop; slow; cp; cs; dup ]
   done;
   for i = 0 to cfg.Config.n_l15_banks - 1 do
-    add "l15" i [ fs; drop; slow ]
+    add "l15" i [ fs; drop; slow; cp; cs; dup ]
   done;
-  add "manager" 0 [ drop; slow ];
-  add "mmu" 0 [ drop; slow ];
+  add "manager" 0 [ drop; slow; cp; cs; dup ];
+  add "mmu" 0 [ drop; slow; cp; dup ];
   add "syscall" 0 [ slow ];
+  (* Only corruption makes sense here: the execution tile's own L1 code
+     store can take a soft error (fail-stop exec is unrecoverable and
+     listed below). Empty — hence absent — under the legacy classes. *)
+  add "exec" 0 [ cs ];
   if not recoverable_only then begin
     add "exec" 0 [ fs ];
     add "manager" 0 [ fs ];
@@ -72,7 +93,15 @@ let apply_fault t stats (e : Fault.event) =
   let m = t.i_manager and ms = t.i_memsys and x = t.i_exec in
   let grid = Layout.grid t.i_layout in
   let idx = e.site.index in
+  (* Deterministic victim-selection seed for storage corruption: a pure
+     function of the event, so runs replay byte-identically. *)
+  let salt = (e.at * 31) + idx in
   Stats.incr stats "fault.injected";
+  (match Fault.class_of_kind e.kind with
+   | Fault.C_corrupt_payload | Fault.C_corrupt_storage | Fault.C_duplicate ->
+     Stats.incr stats "corrupt.injected"
+   | Fault.C_fail_stop | Fault.C_drop | Fault.C_slow -> ());
+  let absorbed () = Stats.incr stats "corrupt.absorbed" in
   let unrecoverable what =
     Stats.incr stats "fault.unrecoverable";
     Exec.abort x (Printf.sprintf "unrecoverable fault: %s tile failed" what)
@@ -105,6 +134,37 @@ let apply_fault t stats (e : Fault.event) =
     (* A dead syscall proxy can swallow an exit in flight; treat it as the
        unrecoverable loss it is rather than hang until the watchdog. *)
     unrecoverable "syscall"
+  (* Transient corruption: bit flips in flight, in resident code-cache
+     lines, in L2D banks, and duplicated network deliveries. All of these
+     are recoverable — checksums, acks, and parity turn them into retries
+     and refetches, never into silently wrong guest state. *)
+  | "l2d", Fault.Corrupt_payload n -> Memsys.bank_corrupt_next ms idx n
+  | "l2d", Fault.Duplicate_delivery n -> Memsys.bank_duplicate_next ms idx n
+  | "l2d", Fault.Corrupt_storage -> begin
+    (* Only clean lines: corrupting the sole copy of dirty data is an
+       unrecoverable fault, which the random recoverable menu must never
+       produce (the parity unit tests exercise that path directly). *)
+    match Memsys.corrupt_bank ms idx ~salt ~allow_dirty:false with
+    | `Clean | `Dirty -> ()
+    | `Absorbed -> absorbed ()
+  end
+  | "l15", Fault.Corrupt_payload n -> Manager.l15_corrupt_next m idx n
+  | "l15", Fault.Duplicate_delivery n -> Manager.l15_duplicate_next m idx n
+  | "l15", Fault.Corrupt_storage ->
+    if not (Manager.corrupt_l15_store m idx ~salt) then absorbed ()
+  | "manager", Fault.Corrupt_payload n -> Manager.mgr_corrupt_next m n
+  | "manager", Fault.Duplicate_delivery n -> Manager.mgr_duplicate_next m n
+  | "manager", Fault.Corrupt_storage ->
+    if not (Manager.corrupt_l2code m ~salt) then absorbed ()
+  | "mmu", Fault.Corrupt_payload n -> Memsys.mmu_corrupt_next ms n
+  | "mmu", Fault.Duplicate_delivery n -> Memsys.mmu_duplicate_next ms n
+  | "exec", Fault.Corrupt_storage ->
+    if not (Exec.corrupt_l1code x ~salt) then absorbed ()
+  | _, (Fault.Corrupt_payload _ | Fault.Corrupt_storage
+       | Fault.Duplicate_delivery _) ->
+    (* A corruption kind aimed at a site with no matching store or message
+       stream (hand-built plans only): the particle hits nothing. *)
+    absorbed ()
   | "exec", _ -> unrecoverable "execution"
   | role, _ -> invalid_arg ("Vm.apply_fault: unknown fault site " ^ role)
 
@@ -184,6 +244,10 @@ let run ?input ?memo ?(fuel = 50_000_000) ?(max_cycles = 2_000_000_000)
   Stats.add stats "fault.dropped_requests"
     (Manager.dropped_requests manager + Memsys.dropped_requests memsys);
   Stats.add stats "fault.failed_tiles" (Grid.failed_tiles (Layout.grid inst.i_layout));
+  Stats.add stats "corrupt.messages"
+    (Manager.corrupted_messages manager + Memsys.corrupted_messages memsys);
+  Stats.add stats "corrupt.duplicated"
+    (Manager.duplicated_messages manager + Memsys.duplicated_messages memsys);
   { outcome;
     cycles;
     guest_insns = Exec.guest_instructions exec;

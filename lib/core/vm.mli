@@ -41,14 +41,20 @@ val run :
     outcome. The same plan and program reproduce byte-identical stats. *)
 
 val fault_menu :
-  ?recoverable_only:bool -> Config.t ->
+  ?recoverable_only:bool -> ?classes:Fault.kind_class list -> Config.t ->
   (Fault.site * Fault.kind array) array
 (** The sites of a configuration paired with the fault kinds that make
     sense for each, for {!Fault.random}. With [recoverable_only] (the
     default) every listed fault preserves guest-visible semantics —
     fail-stop translators / L2D banks / L1.5 banks, transient request
-    drops, and slow tiles; otherwise exec/manager/MMU fail-stops are
-    offered too. *)
+    drops, slow tiles, and (when the corruption classes are selected)
+    soft-error payload/storage corruption and duplicated deliveries;
+    otherwise exec/manager/MMU fail-stops are offered too.
+
+    [classes] filters each site's kinds (default
+    {!Fault.legacy_classes}, which reproduces the pre-corruption menu
+    exactly, so plans drawn against old menus replay byte-identically);
+    sites left with no kinds are dropped. *)
 
 val slowdown : result -> piii_cycles:int -> float
 (** Paper metric: cycles on the translator / cycles on the Pentium III. *)

@@ -2,6 +2,44 @@ type kind =
   | Fail_stop
   | Drop_requests of int
   | Slow of { factor : int; cycles : int }
+  | Corrupt_payload of int
+  | Corrupt_storage
+  | Duplicate_delivery of int
+
+type kind_class =
+  | C_fail_stop
+  | C_drop
+  | C_slow
+  | C_corrupt_payload
+  | C_corrupt_storage
+  | C_duplicate
+
+let class_of_kind = function
+  | Fail_stop -> C_fail_stop
+  | Drop_requests _ -> C_drop
+  | Slow _ -> C_slow
+  | Corrupt_payload _ -> C_corrupt_payload
+  | Corrupt_storage -> C_corrupt_storage
+  | Duplicate_delivery _ -> C_duplicate
+
+let class_to_string = function
+  | C_fail_stop -> "fail-stop"
+  | C_drop -> "drop"
+  | C_slow -> "slow"
+  | C_corrupt_payload -> "corrupt-payload"
+  | C_corrupt_storage -> "corrupt-storage"
+  | C_duplicate -> "duplicate"
+
+let all_classes =
+  [ C_fail_stop; C_drop; C_slow; C_corrupt_payload; C_corrupt_storage;
+    C_duplicate ]
+
+let legacy_classes = [ C_fail_stop; C_drop; C_slow ]
+
+let corruption_classes = [ C_corrupt_payload; C_corrupt_storage; C_duplicate ]
+
+let class_of_string s =
+  List.find_opt (fun c -> class_to_string c = s) all_classes
 
 type site = { role : string; index : int }
 
@@ -47,6 +85,9 @@ let kind_to_string = function
   | Fail_stop -> "fail-stop"
   | Drop_requests n -> Printf.sprintf "drop-%d" n
   | Slow { factor; cycles } -> Printf.sprintf "slow-x%d-for-%d" factor cycles
+  | Corrupt_payload n -> Printf.sprintf "corrupt-payload-%d" n
+  | Corrupt_storage -> "corrupt-storage"
+  | Duplicate_delivery n -> Printf.sprintf "duplicate-%d" n
 
 let site_to_string s =
   if s.index = 0 && not (String.contains s.role ':') then s.role

@@ -7,9 +7,11 @@ type t = {
   tags : int array;          (* sets * ways; -1 = invalid *)
   lru : int array;           (* sets * ways; higher = more recent *)
   dirty : bool array;
+  corrupt : bool array;      (* line has a (detectable) injected bit flip *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable parity_events : int;
 }
 
 let create ~name ~size_bytes ~ways ~line_bytes =
@@ -24,15 +26,19 @@ let create ~name ~size_bytes ~ways ~line_bytes =
     tags = Array.make (sets * ways) (-1);
     lru = Array.make (sets * ways) 0;
     dirty = Array.make (sets * ways) false;
+    corrupt = Array.make (sets * ways) false;
     tick = 0;
     hits = 0;
-    misses = 0 }
+    misses = 0;
+    parity_events = 0 }
 
 let name t = t.name
 let size_bytes t = t.size_bytes
 let line_bytes t = t.line_bytes
 
-type result = { hit : bool; writeback : int option }
+type parity = Parity_ok | Corrected | Uncorrectable
+
+type result = { hit : bool; writeback : int option; parity : parity }
 
 let set_and_tag t addr =
   let line = addr / t.line_bytes in
@@ -58,8 +64,20 @@ let access t ~addr ~write =
     t.hits <- t.hits + 1;
     let s = slot t set way in
     t.lru.(s) <- t.tick;
-    if write then t.dirty.(s) <- true;
-    { hit = true; writeback = None }
+    (* Parity check before the line is used or written. A corrupt clean
+       line is refetched from DRAM (the caller charges the refetch); a
+       corrupt dirty line has lost the only copy of its data. *)
+    let parity =
+      if not t.corrupt.(s) then Parity_ok
+      else if t.dirty.(s) then Uncorrectable
+      else begin
+        t.corrupt.(s) <- false;
+        t.parity_events <- t.parity_events + 1;
+        Corrected
+      end
+    in
+    if write && parity <> Uncorrectable then t.dirty.(s) <- true;
+    { hit = true; writeback = None; parity }
   | None ->
     t.misses <- t.misses + 1;
     (* Choose victim: invalid way if any, else least recently used. *)
@@ -81,10 +99,18 @@ let access t ~addr ~write =
       if t.tags.(s) <> -1 && t.dirty.(s) then Some (line_addr t set t.tags.(s))
       else None
     in
+    (* A corrupt dirty victim would write garbage back to DRAM: that is an
+       uncorrectable loss, detected by parity at eviction. A corrupt clean
+       victim is simply discarded (scrubbed by the replacement). *)
+    let parity =
+      if t.corrupt.(s) && t.dirty.(s) && t.tags.(s) <> -1 then Uncorrectable
+      else Parity_ok
+    in
+    t.corrupt.(s) <- false;
     t.tags.(s) <- tag;
     t.lru.(s) <- t.tick;
     t.dirty.(s) <- write;
-    { hit = false; writeback }
+    { hit = false; writeback; parity }
 
 let probe t ~addr =
   let set, tag = set_and_tag t addr in
@@ -99,8 +125,44 @@ let flush t =
   let dirty = dirty_lines t in
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.corrupt 0 (Array.length t.corrupt) false;
   Array.fill t.lru 0 (Array.length t.lru) 0;
   dirty
+
+(* Deterministic victim selection for storage-corruption injection: scan
+   from a salt-derived start slot for a resident uncorrupted line,
+   preferring clean lines (whose loss is recoverable by a DRAM refetch).
+   Dirty lines are only hit when [allow_dirty] asks for the unrecoverable
+   variant explicitly. *)
+let corrupt_line t ~salt ~allow_dirty =
+  let n = Array.length t.tags in
+  if n = 0 then `Absorbed
+  else begin
+    let start = (salt * 0x9E3779B1) land max_int mod n in
+    let found = ref `Absorbed in
+    (try
+       for k = 0 to n - 1 do
+         let s = (start + k) mod n in
+         if t.tags.(s) <> -1 && (not t.dirty.(s)) && not t.corrupt.(s) then begin
+           t.corrupt.(s) <- true;
+           found := `Clean;
+           raise Exit
+         end
+       done;
+       if allow_dirty then
+         for k = 0 to n - 1 do
+           let s = (start + k) mod n in
+           if t.tags.(s) <> -1 && not t.corrupt.(s) then begin
+             t.corrupt.(s) <- true;
+             found := `Dirty;
+             raise Exit
+           end
+         done
+     with Exit -> ());
+    !found
+  end
+
+let parity_events t = t.parity_events
 
 let hits t = t.hits
 let misses t = t.misses

@@ -15,14 +15,33 @@ val name : t -> string
 val size_bytes : t -> int
 val line_bytes : t -> int
 
+(** Outcome of the per-access parity check (see {!corrupt_line}):
+    [Corrected] means a corrupt {e clean} line was detected and scrubbed —
+    the caller charges a DRAM refetch; [Uncorrectable] means a corrupt
+    {e dirty} line was touched or evicted — the only copy of its data is
+    gone and the caller must fail loudly, never return a silent wrong
+    value. *)
+type parity = Parity_ok | Corrected | Uncorrectable
+
 type result = {
   hit : bool;
   writeback : int option;
       (** Line-aligned address of a dirty line evicted by this access. *)
+  parity : parity;
 }
 
 val access : t -> addr:int -> write:bool -> result
 (** Look up (and on miss, allocate) the line containing [addr]. *)
+
+val corrupt_line : t -> salt:int -> allow_dirty:bool -> [ `Clean | `Dirty | `Absorbed ]
+(** Storage-corruption injection: flip bits in one resident line, chosen
+    deterministically from [salt]. Clean lines are preferred (their loss
+    is recoverable); a dirty line is only corrupted when [allow_dirty],
+    and [`Absorbed] means no eligible line was resident (the particle hit
+    empty silicon). *)
+
+val parity_events : t -> int
+(** Corrupt clean lines detected and scrubbed by accesses so far. *)
 
 val probe : t -> addr:int -> bool
 (** Hit test with no state change. *)

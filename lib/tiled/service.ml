@@ -15,7 +15,12 @@ type 'req t = {
   mutable slow_until : int;
   mutable drop_budget : int;
   mutable dropped : int;
+  mutable corrupt_budget : int;
+  mutable corrupted : int;
+  mutable dup_budget : int;
+  mutable duplicated : int;
   mutable on_reject : ('req -> unit) option;
+  mutable on_corrupt : ('req -> 'req) option;
 }
 
 let create q ~name ~serve =
@@ -33,7 +38,12 @@ let create q ~name ~serve =
     slow_until = 0;
     drop_budget = 0;
     dropped = 0;
-    on_reject = None }
+    corrupt_budget = 0;
+    corrupted = 0;
+    dup_budget = 0;
+    duplicated = 0;
+    on_reject = None;
+    on_corrupt = None }
 
 (* "Idle" for drain purposes: nothing in service, and nothing startable
    (a paused service with queued work counts as drained — the queue will
@@ -87,8 +97,34 @@ let submit t ~delay req =
         t.dropped <- t.dropped + 1
       end
       else begin
-        Queue.push req t.pending;
-        start_next t
+        let req =
+          if t.corrupt_budget <= 0 then Some req
+          else begin
+            (* Soft error in flight: the message arrives bit-flipped. The
+               owner's transformer marks it corrupt (so checksums catch it
+               downstream); without one the message is undecodable and is
+               simply lost — the deadline/retry layer recovers it. *)
+            t.corrupt_budget <- t.corrupt_budget - 1;
+            t.corrupted <- t.corrupted + 1;
+            match t.on_corrupt with
+            | Some f -> Some (f req)
+            | None ->
+              t.dropped <- t.dropped + 1;
+              None
+          end
+        in
+        match req with
+        | None -> ()
+        | Some req ->
+          Queue.push req t.pending;
+          if t.dup_budget > 0 then begin
+            (* The interconnect redelivers the message; receivers must
+               treat the copy idempotently. *)
+            t.dup_budget <- t.dup_budget - 1;
+            t.duplicated <- t.duplicated + 1;
+            Queue.push req t.pending
+          end;
+          start_next t
       end)
 
 let queue_length t = Queue.length t.pending + if t.in_service then 1 else 0
@@ -130,4 +166,10 @@ let drop_next t n = if n > 0 then t.drop_budget <- t.drop_budget + n
 
 let dropped t = t.dropped
 
+let corrupt_next t n = if n > 0 then t.corrupt_budget <- t.corrupt_budget + n
+let duplicate_next t n = if n > 0 then t.dup_budget <- t.dup_budget + n
+let corrupted t = t.corrupted
+let duplicated t = t.duplicated
+
 let set_reject_handler t f = t.on_reject <- Some f
+let set_corrupt_handler t f = t.on_corrupt <- Some f

@@ -67,3 +67,26 @@ val dropped : _ t -> int
 val set_reject_handler : 'req t -> ('req -> unit) -> unit
 (** Called (at arrival time) for each request arriving at a failed
     service; lets an owner re-route traffic to surviving tiles. *)
+
+val corrupt_next : 'req t -> int -> unit
+(** Soft-error injection: the next [n] requests that arrive are delivered
+    through the owner's corrupt transformer (see {!set_corrupt_handler}).
+    If no transformer is installed, a corrupted message is undecodable and
+    is silently lost (counted in {!dropped} and {!corrupted}); upper-layer
+    deadlines recover it. *)
+
+val duplicate_next : 'req t -> int -> unit
+(** The next [n] requests that arrive are delivered twice (a duplicated
+    network delivery); the owner's handler must be idempotent. *)
+
+val corrupted : _ t -> int
+(** Requests hit by {!corrupt_next} so far. *)
+
+val duplicated : _ t -> int
+(** Requests redelivered by {!duplicate_next} so far. *)
+
+val set_corrupt_handler : 'req t -> ('req -> 'req) -> unit
+(** How a corrupted request manifests: the transformer returns the
+    bit-flipped version of the message (typically tagging it so a
+    downstream checksum verification fails), preserving the invariant
+    that corruption is {e detectable}, never silently absorbed. *)

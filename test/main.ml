@@ -17,4 +17,6 @@ let () =
       ("perf-determinism", Test_perf.suite);
       ("fabric", Test_fabric.suite);
       ("faults", Test_faults.suite);
+      ("integrity", Test_integrity.suite);
+      ("cli", Test_cli.suite);
       ("workloads", Test_workloads.suite) ]

@@ -1,0 +1,112 @@
+(* The vat_run command line must fail cleanly on operator error: a
+   malformed or truncated guest image, an unknown benchmark, or a bad
+   --fault-kinds list each produce a one-line diagnostic and a nonzero
+   exit — never a backtrace. Runs the real executable (dune places it at
+   ../bin/vat_run.exe relative to the test cwd). *)
+
+let exe = Filename.concat ".." (Filename.concat "bin" "vat_run.exe")
+
+(* Run [args], capturing stdout+stderr; returns (exit_code, output). *)
+let run_cli args =
+  let out = Filename.temp_file "vat_cli" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe) args
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in_bin out in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc
+
+let check_clean_failure name (code, text) =
+  Alcotest.(check bool) (name ^ ": nonzero exit") true (code <> 0);
+  Alcotest.(check bool) (name ^ ": diagnostic printed") true
+    (String.length (String.trim text) > 0);
+  Alcotest.(check bool)
+    (name ^ ": no backtrace leaked: " ^ text)
+    false
+    (let has needle =
+       let nl = String.length needle and tl = String.length text in
+       let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+       go 0
+     in
+     has "Raised at" || has "Called from" || has "Fatal error: exception")
+
+let test_exe_present () =
+  Alcotest.(check bool) ("executable exists at " ^ exe) true
+    (Sys.file_exists exe)
+
+let test_list () =
+  let code, text = run_cli "--list" in
+  Alcotest.(check int) "exit 0" 0 code;
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions gzip" true (has "gzip")
+
+let test_unknown_benchmark () =
+  check_clean_failure "unknown benchmark" (run_cli "no-such-benchmark")
+
+let test_garbage_image () =
+  let path = "garbage.vbin" in
+  write_file path "this is not a VAT0 image at all................";
+  let r = run_cli path in
+  Sys.remove path;
+  check_clean_failure "garbage image" r
+
+let test_truncated_image () =
+  (* Correct magic, then nothing: the header read must fail cleanly. *)
+  let path = "truncated.vbin" in
+  write_file path "VAT0\x10";
+  let r = run_cli path in
+  Sys.remove path;
+  check_clean_failure "truncated image" r
+
+let test_empty_image () =
+  let path = "empty.vbin" in
+  write_file path "";
+  let r = run_cli path in
+  Sys.remove path;
+  check_clean_failure "empty image" r
+
+let test_bad_fault_kinds () =
+  let code, text = run_cli "gzip --faults 1 --fault-kinds cosmic-ray" in
+  check_clean_failure "bad fault class" (code, text);
+  Alcotest.(check bool) "names the bad class" true
+    (let has needle =
+       let nl = String.length needle and tl = String.length text in
+       let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+       go 0
+     in
+     has "cosmic-ray")
+
+let test_bad_config () =
+  check_clean_failure "bad --translators"
+    (run_cli "gzip --translators 99");
+  check_clean_failure "negative --faults" (run_cli "gzip --faults -3")
+
+let suite =
+  [ Alcotest.test_case "executable built" `Quick test_exe_present;
+    Alcotest.test_case "--list works" `Quick test_list;
+    Alcotest.test_case "unknown benchmark fails cleanly" `Quick
+      test_unknown_benchmark;
+    Alcotest.test_case "garbage guest image fails cleanly" `Quick
+      test_garbage_image;
+    Alcotest.test_case "truncated guest image fails cleanly" `Quick
+      test_truncated_image;
+    Alcotest.test_case "empty guest image fails cleanly" `Quick
+      test_empty_image;
+    Alcotest.test_case "bad --fault-kinds fails cleanly" `Quick
+      test_bad_fault_kinds;
+    Alcotest.test_case "bad configuration fails cleanly" `Quick
+      test_bad_config ]
