@@ -345,12 +345,11 @@ let fault_counts = [ 0; 1; 2; 4; 8 ]
 let fault_seed = 2026
 let fault_horizon = 400_000
 
-(* Plans are drawn from one seed with growing counts; [Fault.random] is a
-   prefix-stable stream, so each column adds faults to the previous one
-   and the curve is a genuine cumulative-damage sweep. *)
+(* Plans are drawn from one seed with growing counts; the stream behind
+   [Faultspec.plan] is prefix-stable, so each column adds faults to the
+   previous one and the curve is a genuine cumulative-damage sweep. *)
 let fault_plan cfg n =
-  Fault.random ~seed:fault_seed ~horizon:fault_horizon
-    ~menu:(Vm.fault_menu cfg) ~count:n
+  Faultspec.plan ~horizon:fault_horizon cfg ~seed:fault_seed ~count:n
 
 let faults_run b n =
   let cfg = Config.default in
@@ -398,9 +397,8 @@ let corruption_counts = [ 0; 2; 4; 8; 16 ]
    from the corruption classes only (payload flips, storage flips,
    duplicate deliveries). *)
 let corruption_plan cfg n =
-  Fault.random ~seed:fault_seed ~horizon:fault_horizon
-    ~menu:(Vm.fault_menu ~classes:Fault.corruption_classes cfg)
-    ~count:n
+  Faultspec.plan ~horizon:fault_horizon ~classes:Fault.corruption_classes cfg
+    ~seed:fault_seed ~count:n
 
 let corruption_run b n =
   let cfg = Config.default in
@@ -436,6 +434,69 @@ let corruption () =
           string_of_int (Metrics.silent_corruptions r) ])
     (fault_benchmarks ())
 
+(* ------------------------------------------------------------------ *)
+(* Trace demo: Figure 5's gcc congestion story, time-resolved          *)
+(* ------------------------------------------------------------------ *)
+
+(* gcc is Figure 5's outlier: it keeps speeding up all the way to nine
+   translation tiles while the other benchmarks flatten out early. The
+   event trace shows the mechanism directly — with one translation tile
+   the translate queue backs up and the fabric idles behind it; with nine
+   the queue drains and the manager tile becomes the busy resource. *)
+
+let trace_traced key cfg =
+  let b = Suite.find "gcc" in
+  let trace = Vat_trace.Trace.create () in
+  let r = Vm.run ~fuel ~memo:(memo_for b) ~trace cfg (Suite.load b) in
+  check_outcome key b r;
+  (trace, r)
+
+(* Peak value of a sampled gauge track (e.g. "translate-queue"). *)
+let trace_peak_gauge t name =
+  match Vat_trace.Trace.find_track t name with
+  | None -> 0
+  | Some track ->
+    let m = ref 0 in
+    Vat_trace.Trace.iter t (fun rec_ ->
+        if
+          rec_.Vat_trace.Trace.track = track
+          && rec_.Vat_trace.Trace.kind = Vat_trace.Trace.Queue_depth
+        then m := max !m rec_.Vat_trace.Trace.arg);
+    !m
+
+let trace_busy t (r : Vm.result) name =
+  match Vat_trace.Trace.find_track t name with
+  | None -> 0.
+  | Some track ->
+    Vat_trace.Report.busy_fraction t ~track ~total_cycles:r.Vm.cycles
+
+let trace_fig () =
+  let t1, r1 = trace_traced "trace-spec-1" { Config.default with n_translators = 1 } in
+  let t9, r9 = trace_traced "trace-spec-9" (Config.trans_heavy Config.default) in
+  Printf.printf
+    "\nTrace: gcc with 1 vs 9 translation tiles (Figure 5's outlier, \
+     time-resolved)\n";
+  Printf.printf "%-8s %12s %10s %12s %10s\n" "config" "cycles" "mgr-busy"
+    "peak-tqueue" "mgr-hwm";
+  Printf.printf "%s\n" (String.make 56 '-');
+  List.iter
+    (fun (label, t, (r : Vm.result)) ->
+      Printf.printf "%-8s %12d %9.1f%% %12d %10d\n" label r.Vm.cycles
+        (100. *. trace_busy t r "manager")
+        (trace_peak_gauge t "translate-queue")
+        (Metrics.mgr_queue_hwm r))
+    [ ("spec-1", t1, r1); ("spec-9", t9, r9) ];
+  Printf.printf
+    "(With one translator the translate queue piles up and the manager \
+     waits;\n with nine it drains and the manager tile becomes the \
+     bottleneck.)\n";
+  Printf.printf "\nTile utilization over time, spec-1:\n%s"
+    (Vat_trace.Report.utilization_table ~buckets:12 t1 ~total_cycles:r1.Vm.cycles);
+  Printf.printf "\nTile utilization over time, spec-9:\n%s"
+    (Vat_trace.Report.utilization_table ~buckets:12 t9 ~total_cycles:r9.Vm.cycles);
+  Printf.printf "\nHot blocks, spec-9:\n%s"
+    (Vat_trace.Report.hot_blocks ~top:8 t9)
+
 let all_figures =
   [ ("fig4", fig4);
     ("fig5", fig5);
@@ -449,7 +510,8 @@ let all_figures =
     ("ablations", ablations);
     ("fabric", fabric);
     ("faults", faults);
-    ("corruption", corruption) ]
+    ("corruption", corruption);
+    ("trace", trace_fig) ]
 
 (* ------------------------------------------------------------------ *)
 (* Experiment planning and the parallel runner                         *)
@@ -540,7 +602,9 @@ let cells_for = function
           corruption_counts)
       (fault_benchmarks ())
     @ piii_cells (fault_benchmarks ())
-  | "fig11" -> []
+  (* fig11 reuses whatever is cached; trace runs its two traced gcc
+     simulations inline (a live recorder can't cross Pool domains). *)
+  | "fig11" | "trace" -> []
   | name -> invalid_arg ("Figures.cells_for: unknown figure " ^ name)
 
 (* Build the worker task for a cell, on the main domain (memo handles are

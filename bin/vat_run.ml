@@ -33,50 +33,15 @@ let build_config base translators banks l15 no_spec no_opt no_chain morph =
     { cfg with Config.morph = Config.Morph { threshold; dwell = 25000 } }
   | None -> cfg
 
-(* Accepts a preset name or a comma-separated list of fault classes
-   ("fail-stop", "drop", "slow", "corrupt-payload", "corrupt-storage",
-   "duplicate"). *)
-let parse_fault_classes s =
-  match s with
-  | "legacy" -> Ok Vat_desim.Fault.legacy_classes
-  | "all" -> Ok Vat_desim.Fault.all_classes
-  | "corruption" -> Ok Vat_desim.Fault.corruption_classes
-  | s ->
-    let parts =
-      List.filter (( <> ) "")
-        (List.map String.trim (String.split_on_char ',' s))
-    in
-    if parts = [] then Error "--fault-kinds: empty class list"
-    else
-      let rec collect acc = function
-        | [] -> Ok (List.rev acc)
-        | p :: rest -> (
-          match Vat_desim.Fault.class_of_string p with
-          | Some c -> collect (c :: acc) rest
-          | None ->
-            Error
-              (Printf.sprintf
-                 "--fault-kinds: unknown fault class %S (known: %s, or the \
-                  presets legacy/corruption/all)"
-                 p
-                 (String.concat ", "
-                    (List.map Vat_desim.Fault.class_to_string
-                       Vat_desim.Fault.all_classes))))
-      in
-      collect [] parts
-
 let fault_plan cfg ~faults ~seed ~classes =
   if faults = 0 then Vat_desim.Fault.empty
-  else
-    Vat_desim.Fault.random ~seed ~horizon:400_000
-      ~menu:(Vm.fault_menu ~classes cfg)
-      ~count:faults
+  else Faultspec.plan ~classes cfg ~seed ~count:faults
 
 (* [load] is called once per simulation: guest memory is mutated by a run,
    so the reference model and the translator each get a fresh program. *)
-let compute_one cfg plan load =
+let compute_one ?(trace = Vat_trace.Trace.disabled) cfg plan load =
   let piii = Vat_refmodel.Piii.run (load ()) in
-  let rv = Vm.run ~fuel:100_000_000 ~faults:plan cfg (load ()) in
+  let rv = Vm.run ~fuel:100_000_000 ~faults:plan ~trace cfg (load ()) in
   (piii, rv)
 
 let print_one show_stats name
@@ -114,11 +79,43 @@ let print_one show_stats name
     Format.printf "%a" Vat_desim.Stats.pp rv.stats
   end
 
-let run_one cfg show_stats plan name load =
-  print_one show_stats name (compute_one cfg plan load)
+(* A .json suffix selects the Chrome trace_event format (load it in
+   chrome://tracing or https://ui.perfetto.dev); anything else gets the
+   plain-text utilization and hot-block report. *)
+let export_trace path ~buckets trace (rv : Vm.result) =
+  if Filename.check_suffix path ".json" then Vat_trace.Chrome.to_file path trace
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc
+          (Vat_trace.Report.render ~buckets trace ~total_cycles:rv.Vm.cycles))
+  end;
+  Printf.printf "trace: %d records on %d tracks -> %s%s\n"
+    (Vat_trace.Trace.length trace)
+    (Vat_trace.Trace.n_tracks trace)
+    path
+    (if Vat_trace.Trace.dropped trace > 0 then
+       Printf.sprintf " (%d oldest records overwritten)"
+         (Vat_trace.Trace.dropped trace)
+     else "")
+
+let run_one ?trace_file ~trace_buckets cfg show_stats plan name load =
+  let trace =
+    match trace_file with
+    | Some _ -> Vat_trace.Trace.create ()
+    | None -> Vat_trace.Trace.disabled
+  in
+  let ((_, rv) as res) = compute_one ~trace cfg plan load in
+  print_one show_stats name res;
+  match trace_file with
+  | Some path -> export_trace path ~buckets:trace_buckets trace rv
+  | None -> ()
 
 let main list_benches bench base translators banks l15 no_spec no_opt no_chain
-    morph show_stats faults fault_seed fault_kinds jobs =
+    morph show_stats faults fault_seed fault_kinds trace_file trace_buckets
+    jobs =
   if list_benches then begin
     List.iter
       (fun (b : Suite.benchmark) ->
@@ -127,8 +124,15 @@ let main list_benches bench base translators banks l15 no_spec no_opt no_chain
     `Ok ()
   end
   else if faults < 0 then `Error (false, "--faults must be non-negative")
+  else if trace_buckets <= 0 then
+    `Error (false, "--trace-buckets must be positive")
+  else if trace_file <> None && bench = None then
+    `Error
+      ( false,
+        "--trace needs a single benchmark (a whole-suite run would \
+         overwrite the trace file once per benchmark)" )
   else
-    match parse_fault_classes fault_kinds with
+    match Faultspec.parse_classes fault_kinds with
     | Error msg -> `Error (false, msg)
     | Ok classes -> (
       match
@@ -144,7 +148,9 @@ let main list_benches bench base translators banks l15 no_spec no_opt no_chain
           | Some name -> (
             match Suite.find name with
             | b ->
-              run_one cfg show_stats plan b.Suite.name (fun () -> Suite.load b);
+              run_one ?trace_file ~trace_buckets cfg show_stats plan
+                b.Suite.name
+                (fun () -> Suite.load b);
               `Ok ()
             | exception Not_found -> (
               (* Not a suite benchmark: try it as a guest-image path. *)
@@ -156,7 +162,8 @@ let main list_benches bench base translators banks l15 no_spec no_opt no_chain
               else
                 match Vat_guest.Image.load name with
                 | img ->
-                  run_one cfg show_stats plan (Filename.basename name)
+                  run_one ?trace_file ~trace_buckets cfg show_stats plan
+                    (Filename.basename name)
                     (fun () -> Vat_guest.Image.to_program img);
                   `Ok ()
                 | exception Vat_guest.Image.Bad_image msg ->
@@ -258,6 +265,28 @@ let cmd =
              duplicate; or a preset: legacy (the first three, the default), \
              corruption (the last three), all.")
   in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a time-resolved event trace of the run and write it to \
+             $(docv): per-tile service spans, code-cache events, sampled \
+             queue depths, morph decisions, and fault recoveries. A .json \
+             suffix writes Chrome trace_event format (open in \
+             chrome://tracing or Perfetto); any other name writes a \
+             plain-text utilization and hot-block report. Tracing never \
+             changes simulated timing. Single-benchmark runs only.")
+  in
+  let trace_buckets =
+    Arg.(
+      value & opt int 20
+      & info [ "trace-buckets" ] ~docv:"N"
+          ~doc:
+            "Time buckets in the plain-text trace report's utilization \
+             table (default 20). Ignored for .json traces.")
+  in
   let jobs =
     Arg.(
       value
@@ -272,7 +301,7 @@ let cmd =
       ret
         (const main $ list_flag $ bench $ base $ translators $ banks $ l15
         $ no_spec $ no_opt $ no_chain $ morph $ stats $ faults $ fault_seed
-        $ fault_kinds $ jobs))
+        $ fault_kinds $ trace_file $ trace_buckets $ jobs))
   in
   Cmd.v
     (Cmd.info "vat_run" ~version:"1.0"

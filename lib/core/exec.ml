@@ -3,6 +3,7 @@ open Vat_guest
 open Vat_host
 open Vat_ir
 open Vat_tiled
+module Tr = Vat_trace.Trace
 
 type outcome =
   | Exited of int
@@ -52,10 +53,25 @@ type counters = {
   c_silent_corruptions : Stats.counter;
 }
 
+(* Pre-resolved trace emitters, same pattern as [counters]: dead branches
+   when tracing is off. Block entries and L1 code events go on the "exec"
+   track (stamped with the engine's local time, which is what the
+   hot-block profile attributes); fill spans on "exec.fill". *)
+type probes = {
+  p_dispatch : Tr.emitter;
+  p_chain : Tr.emitter;
+  p_l1_hit : Tr.emitter;
+  p_l1_miss : Tr.emitter;
+  p_l1_install : Tr.emitter;
+  p_fill_begin : Tr.emitter;
+  p_fill_end : Tr.emitter;
+}
+
 type t = {
   q : Event_queue.t;
   stats : Stats.t;
   k : counters;
+  pb : probes;
   cfg : Config.t;
   layout : Layout.t;
   prog : Program.t;
@@ -81,7 +97,8 @@ type t = {
   mutable on_finish : outcome -> unit;
 }
 
-let create q stats cfg layout prog ~manager ~memsys ?input () =
+let create q stats cfg layout prog ~manager ~memsys ?input
+    ?(trace = Tr.disabled) () =
   let regs = Array.make 32 0 in
   regs.(Translate.guest_pin ESP) <- prog.Program.initial_esp;
   regs.(Regalloc.scratch_base_reg) <- scratch_base;
@@ -103,6 +120,13 @@ let create q stats cfg layout prog ~manager ~memsys ?input () =
             in
             s_reply result ))
   in
+  let exec_track = Tr.track trace "exec" in
+  let fill_track = Tr.track trace "exec.fill" in
+  let sys_track = Tr.track trace "syscall" in
+  Service.set_probe syscall_svc
+    ~recv:(Tr.emitter trace ~track:sys_track Tr.Msg_recv)
+    ~start:(Tr.emitter trace ~track:sys_track Tr.Serve_begin)
+    ~stop:(Tr.emitter trace ~track:sys_track Tr.Serve_end);
   { q;
     stats;
     k =
@@ -125,6 +149,14 @@ let create q stats cfg layout prog ~manager ~memsys ?input () =
         c_syscalls = Stats.counter stats "exec.syscalls";
         c_l1code_corrupt = Stats.counter stats "corrupt.l1code_detected";
         c_silent_corruptions = Stats.counter stats "corrupt.silent" };
+    pb =
+      { p_dispatch = Tr.emitter trace ~track:exec_track Tr.Block_dispatch;
+        p_chain = Tr.emitter trace ~track:exec_track Tr.Block_chain;
+        p_l1_hit = Tr.emitter trace ~track:exec_track Tr.Cache_hit;
+        p_l1_miss = Tr.emitter trace ~track:exec_track Tr.Cache_miss;
+        p_l1_install = Tr.emitter trace ~track:exec_track Tr.Cache_install;
+        p_fill_begin = Tr.emitter trace ~track:fill_track Tr.Fill_begin;
+        p_fill_end = Tr.emitter trace ~track:fill_track Tr.Fill_end };
     cfg;
     layout;
     prog;
@@ -481,6 +513,8 @@ and leave_direct t entry dir target =
   | Some next_entry ->
     Stats.bump t.k.c_chained_transfers;
     t.t_local <- t.t_local + t.cfg.Config.chain_cycles;
+    Tr.emit t.pb.p_chain ~cycle:t.t_local
+      ~arg:next_entry.Code_cache.L1.block.Block.guest_addr;
     enter t next_entry
   | None -> dispatch t ~chain_slot:(Some (entry, dir)) target
 
@@ -490,10 +524,14 @@ and dispatch t ~chain_slot target =
   match Code_cache.L1.find t.l1 target with
   | Some next_entry ->
     Stats.bump t.k.c_l1code_hits;
+    Tr.emit t.pb.p_l1_hit ~cycle:t.t_local ~arg:target;
+    Tr.emit t.pb.p_dispatch ~cycle:t.t_local ~arg:target;
     set_chain t chain_slot next_entry;
     enter t next_entry
   | None ->
     Stats.bump t.k.c_l1code_misses;
+    Tr.emit t.pb.p_l1_miss ~cycle:t.t_local ~arg:target;
+    Tr.emit t.pb.p_fill_begin ~cycle:t.t_local ~arg:target;
     t.wait <- Wait_fill;
     at_local t (fun () ->
         Manager.note_on_path t.manager target;
@@ -510,6 +548,9 @@ and dispatch t ~chain_slot target =
             t.t_local <- t.t_local + max 1 install_cost;
             let next_entry = Code_cache.L1.install t.l1 block in
             Stats.bump t.k.c_l1code_installs;
+            Tr.emit t.pb.p_fill_end ~cycle:t.t_local ~arg:target;
+            Tr.emit t.pb.p_l1_install ~cycle:t.t_local ~arg:target;
+            Tr.emit t.pb.p_dispatch ~cycle:t.t_local ~arg:target;
             set_chain t chain_slot next_entry;
             t.wait <- Running;
             enter t next_entry))
@@ -612,11 +653,16 @@ let start t ~fuel ~on_finish =
   t.on_finish <- on_finish;
   Manager.seed t.manager t.prog.Program.entry;
   t.wait <- Wait_fill;
+  Tr.emit t.pb.p_fill_begin ~cycle:0 ~arg:t.prog.Program.entry;
   Event_queue.schedule t.q ~at:0 (fun () ->
       Manager.request_fill t.manager ~addr:t.prog.Program.entry
         ~on_ready:(fun block ->
           let now = Event_queue.now t.q in
           if now > t.t_local then t.t_local <- now;
           let entry = Code_cache.L1.install t.l1 block in
+          Tr.emit t.pb.p_fill_end ~cycle:t.t_local
+            ~arg:t.prog.Program.entry;
+          Tr.emit t.pb.p_dispatch ~cycle:t.t_local
+            ~arg:t.prog.Program.entry;
           t.wait <- Running;
           enter t entry))

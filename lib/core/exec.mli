@@ -28,8 +28,13 @@ val create :
   manager:Manager.t ->
   memsys:Memsys.t ->
   ?input:string ->
+  ?trace:Vat_trace.Trace.t ->
   unit ->
   t
+(** [trace] (default disabled) records block entries, L1 code-cache
+    events, and fill spans on the "exec"/"exec.fill" tracks, plus syscall
+    service occupancy on "syscall" — all stamped with the engine's local
+    time. Tracing only observes; timing is unchanged. *)
 
 val start : t -> fuel:int -> on_finish:(outcome -> unit) -> unit
 (** Begin execution at the program entry. [fuel] bounds retired guest

@@ -1,0 +1,35 @@
+open Vat_desim
+
+(* Accepts a preset name or a comma-separated list of fault classes
+   ("fail-stop", "drop", "slow", "corrupt-payload", "corrupt-storage",
+   "duplicate"). *)
+let parse_classes s =
+  match s with
+  | "legacy" -> Ok Fault.legacy_classes
+  | "all" -> Ok Fault.all_classes
+  | "corruption" -> Ok Fault.corruption_classes
+  | s ->
+    let parts =
+      List.filter (( <> ) "")
+        (List.map String.trim (String.split_on_char ',' s))
+    in
+    if parts = [] then Error "--fault-kinds: empty class list"
+    else
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+          match Fault.class_of_string p with
+          | Some c -> collect (c :: acc) rest
+          | None ->
+            Error
+              (Printf.sprintf
+                 "--fault-kinds: unknown fault class %S (known: %s, or the \
+                  presets legacy/corruption/all)"
+                 p
+                 (String.concat ", "
+                    (List.map Fault.class_to_string Fault.all_classes))))
+      in
+      collect [] parts
+
+let plan ?(horizon = 400_000) ?classes cfg ~seed ~count =
+  Fault.random ~seed ~horizon ~menu:(Vm.fault_menu ?classes cfg) ~count

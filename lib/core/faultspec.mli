@@ -1,0 +1,28 @@
+(** Shared fault-sweep specification.
+
+    One place that turns user-facing fault inputs — a class-list string
+    from [--fault-kinds], a seed, a count — into a deterministic
+    {!Vat_desim.Fault.plan}, so the CLI and the bench runner cannot
+    drift apart on parsing or plan construction. *)
+
+val parse_classes :
+  string -> (Vat_desim.Fault.kind_class list, string) result
+(** Parse a preset name ([legacy], [corruption], [all]) or a
+    comma-separated list of fault-class names ([fail-stop], [drop],
+    [slow], [corrupt-payload], [corrupt-storage], [duplicate]).
+    Whitespace around entries is ignored. Errors are ready-to-print
+    one-liners mentioning the [--fault-kinds] flag. *)
+
+val plan :
+  ?horizon:int ->
+  ?classes:Vat_desim.Fault.kind_class list ->
+  Config.t ->
+  seed:int ->
+  count:int ->
+  Vat_desim.Fault.plan
+(** Draw [count] faults from the configuration's menu (filtered to
+    [classes], default {!Vat_desim.Fault.legacy_classes}) over the first
+    [horizon] cycles (default 400_000). The underlying stream is
+    prefix-stable: the same seed with a larger count extends the plan
+    rather than reshuffling it, and [count = 0] yields a plan
+    indistinguishable from {!Vat_desim.Fault.empty}. *)

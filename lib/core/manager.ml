@@ -1,5 +1,6 @@
 open Vat_desim
 open Vat_tiled
+module Tr = Vat_trace.Trace
 
 (* Code deliveries (fill replies, install messages) carry the sending
    side's copy of the block checksum alongside the block. A soft error on
@@ -39,6 +40,20 @@ type slave = {
    means not yet acknowledged; the sending slave retransmits on deadline. *)
 type pending = { p_slave : int; p_addr : int }
 
+(* Pre-resolved trace emitters (dead branches when tracing is off). The
+   arg of [recover] says which recovery path ran; codes are documented on
+   {!Manager.recovery_code_names}. *)
+type probes = {
+  tb_slave : Tr.emitter array;  (* per-slave Translate_begin; arg = guest addr *)
+  te_slave : Tr.emitter array;  (* per-slave Translate_end *)
+  l2_hit : Tr.emitter;
+  l2_miss : Tr.emitter;
+  l2_install : Tr.emitter;
+  l15_hit : Tr.emitter array;   (* per L1.5 bank *)
+  l15_miss : Tr.emitter array;
+  recover : Tr.emitter;
+}
+
 type t = {
   q : Event_queue.t;
   stats : Stats.t;
@@ -61,7 +76,16 @@ type t = {
   mutable mgr_service : mgr_req Service.t option;
   mutable l15_services : l15_req Service.t array;
   mutable drain_waiters : (unit -> unit) list;
+  pr : probes;
 }
+
+(* What the arg of a [Recovery] record on the manager track means. *)
+let recovery_code_names =
+  [ (1, "install-retransmit");
+    (2, "translation-requeued");
+    (3, "fill-retry");
+    (4, "demand-translate");
+    (5, "l15-reroute") ]
 
 let mgr t = match t.mgr_service with Some s -> s | None -> assert false
 
@@ -85,6 +109,7 @@ let rec kick_slaves t =
       let s = t.slaves.(i) in
       s.busy <- true;
       s.current <- Some addr;
+      Tr.emit t.pr.tb_slave.(i) ~cycle:(Event_queue.now t.q) ~arg:addr;
       (* [gens]: the generations of the guest pages the translator read,
          so a store racing with this translation is caught at install
          time (and so a memo hit is known to be fresh). *)
@@ -107,6 +132,7 @@ let rec kick_slaves t =
           if not s.failed then begin
             s.busy <- false;
             s.current <- None;
+            Tr.emit t.pr.te_slave.(i) ~cycle:(Event_queue.now t.q) ~arg:addr;
             send_install t i block gens;
             (* A slave that was deactivated mid-block finishes it first. *)
             notify_drained t;
@@ -140,12 +166,14 @@ and send_install t i (block : Block.t) gens =
                && not t.slaves.(i).failed
             then begin
               Stats.incr t.stats "corrupt.install_retransmits";
+              Tr.emit t.pr.recover ~cycle:(Event_queue.now t.q) ~arg:1;
               submit ();
               watch (retries + 1) (deadline * t.cfg.Config.fill_backoff_mult)
             end
             else begin
               Hashtbl.remove t.unacked seq;
               Stats.incr t.stats "fault.translations_requeued";
+              Tr.emit t.pr.recover ~cycle:(Event_queue.now t.q) ~arg:2;
               if not (Spec.is_done t.spec addr) then begin
                 Spec.forget t.spec addr;
                 if Hashtbl.mem t.waiters addr then
@@ -194,6 +222,7 @@ let serve_mgr t req =
      | Some (block, sum) when (not ft) || sum = block.Block.checksum ->
        (* The L2 code cache lives in off-chip DRAM: the manager fetches
           the block before streaming it. *)
+       Tr.emit t.pr.l2_hit ~cycle:(Event_queue.now t.q) ~arg:addr;
        let occupancy =
          t.cfg.Config.mgr_lookup_cycles + t.cfg.Config.dram_cycles
          + stream_cycles t block + verify_cost t
@@ -215,6 +244,7 @@ let serve_mgr t req =
           Code_cache.L2.remove t.l2 addr
         | None -> ());
        Stats.incr t.stats "l2code.misses";
+       Tr.emit t.pr.l2_miss ~cycle:(Event_queue.now t.q) ~arg:addr;
        ( t.cfg.Config.mgr_lookup_cycles + verify_cost t,
          fun () ->
            add_waiter t addr reply;
@@ -266,6 +296,9 @@ let serve_mgr t req =
           end
           else begin
             Code_cache.L2.install t.l2 block;
+            Tr.emit t.pr.l2_install
+              ~cycle:(Event_queue.now t.q)
+              ~arg:block.guest_addr;
             Spec.mark_done t.spec block.guest_addr;
             Spec.note_block_translated t.spec block;
             (match Hashtbl.find_opt t.waiters block.guest_addr with
@@ -287,6 +320,7 @@ let serve_l15 t { addr; bank; corrupt; reply } =
   match Code_cache.L15.find t.l15_banks.(bank) addr with
   | Some (block, sum) when (not ft) || sum = block.Block.checksum ->
     Stats.incr t.stats "l15.hits";
+    Tr.emit t.pr.l15_hit.(bank) ~cycle:(Event_queue.now t.q) ~arg:addr;
     ( t.cfg.Config.l15_lookup_cycles + stream_cycles t block + verify_cost t,
       fun () ->
         let sum =
@@ -310,6 +344,7 @@ let serve_l15 t { addr; bank; corrupt; reply } =
        Code_cache.L15.remove t.l15_banks.(bank) addr
      | None -> ());
     Stats.incr t.stats "l15.misses";
+    Tr.emit t.pr.l15_miss.(bank) ~cycle:(Event_queue.now t.q) ~arg:addr;
     ( t.cfg.Config.l15_lookup_cycles + verify_cost t,
       fun () ->
         (* Forward to the manager; when the block comes back, keep a copy
@@ -328,11 +363,34 @@ let serve_l15 t { addr; bank; corrupt; reply } =
    network re-routes; the bank's caching is simply lost). *)
 let reroute_l15 t { addr; bank; corrupt; reply } =
   Stats.incr t.stats "fault.l15_reroutes";
+  Tr.emit t.pr.recover ~cycle:(Event_queue.now t.q) ~arg:5;
   Service.submit (mgr t)
     ~delay:(Layout.lat_l15_manager t.layout bank)
     (Fill { addr; corrupt; reply })
 
-let create ?memo q stats cfg layout ~fetch ~page_gen =
+let create ?memo ?(trace = Tr.disabled) q stats cfg layout ~fetch ~page_gen =
+  let n_l15 = max 1 cfg.Config.n_l15_banks in
+  let mgr_track = Tr.track trace "manager" in
+  let slave_track i = Tr.track trace (Printf.sprintf "slave.%d" i) in
+  let l15_track i = Tr.track trace (Printf.sprintf "l15.%d" i) in
+  let pr =
+    { tb_slave =
+        Array.init 9 (fun i ->
+            Tr.emitter trace ~track:(slave_track i) Tr.Translate_begin);
+      te_slave =
+        Array.init 9 (fun i ->
+            Tr.emitter trace ~track:(slave_track i) Tr.Translate_end);
+      l2_hit = Tr.emitter trace ~track:mgr_track Tr.Cache_hit;
+      l2_miss = Tr.emitter trace ~track:mgr_track Tr.Cache_miss;
+      l2_install = Tr.emitter trace ~track:mgr_track Tr.Cache_install;
+      l15_hit =
+        Array.init n_l15 (fun i ->
+            Tr.emitter trace ~track:(l15_track i) Tr.Cache_hit);
+      l15_miss =
+        Array.init n_l15 (fun i ->
+            Tr.emitter trace ~track:(l15_track i) Tr.Cache_miss);
+      recover = Tr.emitter trace ~track:mgr_track Tr.Recovery }
+  in
   let t =
     { q;
       stats;
@@ -363,9 +421,14 @@ let create ?memo q stats cfg layout ~fetch ~page_gen =
       l15_alive = Array.init cfg.Config.n_l15_banks (fun i -> i);
       mgr_service = None;
       l15_services = [||];
-      drain_waiters = [] }
+      drain_waiters = [];
+      pr }
   in
   t.mgr_service <- Some (Service.create q ~name:"code-manager" ~serve:(serve_mgr t));
+  Service.set_probe (mgr t)
+    ~recv:(Tr.emitter trace ~track:mgr_track Tr.Msg_recv)
+    ~start:(Tr.emitter trace ~track:mgr_track Tr.Serve_begin)
+    ~stop:(Tr.emitter trace ~track:mgr_track Tr.Serve_end);
   Service.set_corrupt_handler (mgr t) (function
     | Fill { addr; corrupt = _; reply } -> Fill { addr; corrupt = true; reply }
     | Translated { seq; slave; block; sum; gens } ->
@@ -373,8 +436,12 @@ let create ?memo q stats cfg layout ~fetch ~page_gen =
   t.l15_services <-
     Array.init (max 1 cfg.Config.n_l15_banks) (fun _i ->
         Service.create q ~name:"l15" ~serve:(serve_l15 t));
-  Array.iter
-    (fun svc ->
+  Array.iteri
+    (fun i svc ->
+      Service.set_probe svc
+        ~recv:(Tr.emitter trace ~track:(l15_track i) Tr.Msg_recv)
+        ~start:(Tr.emitter trace ~track:(l15_track i) Tr.Serve_begin)
+        ~stop:(Tr.emitter trace ~track:(l15_track i) Tr.Serve_end);
       Service.set_reject_handler svc (reroute_l15 t);
       Service.set_corrupt_handler svc (fun r -> { r with corrupt = true }))
     t.l15_services;
@@ -405,6 +472,7 @@ let submit_fill_once t ~addr ~reply =
    with fault tolerance armed, so the integrity check is unconditional. *)
 let degraded_fill t ~addr ~reply =
   Stats.incr t.stats "fault.demand_translates";
+  Tr.emit t.pr.recover ~cycle:(Event_queue.now t.q) ~arg:4;
   let fresh () =
     let b, _gens =
       Translate.translate_memo ?memo:t.memo t.cfg ~fetch:t.fetch
@@ -455,6 +523,7 @@ let request_fill t ~addr ~on_ready =
             Stats.incr t.stats "fault.fill_timeouts";
             if retries < t.cfg.Config.fill_max_retries then begin
               Stats.incr t.stats "fault.fill_retries";
+              Tr.emit t.pr.recover ~cycle:(Event_queue.now t.q) ~arg:3;
               attempt (retries + 1) (deadline * t.cfg.Config.fill_backoff_mult)
             end
             else degraded_fill t ~addr ~reply
@@ -473,6 +542,14 @@ let invalidate_page t ~page =
   Array.iter (fun bank -> Code_cache.L15.drop_page bank page) t.l15_banks
 
 let queue_length t = Spec.queue_length t.spec
+
+let mgr_queue_length t = Service.queue_length (mgr t)
+let mgr_max_queue t = Service.max_queue_length (mgr t)
+
+let l15_max_queue t =
+  Array.fold_left
+    (fun acc s -> max acc (Service.max_queue_length s))
+    0 t.l15_services
 
 let active_slaves t =
   Array.fold_left (fun acc s -> if s.active then acc + 1 else acc) 0 t.slaves

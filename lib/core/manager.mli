@@ -15,6 +15,7 @@ type t
 
 val create :
   ?memo:Translate.Memo.t ->
+  ?trace:Vat_trace.Trace.t ->
   Event_queue.t ->
   Stats.t ->
   Config.t ->
@@ -26,7 +27,11 @@ val create :
     are validated against it at install time so stores racing with an
     in-flight translation cannot install stale code. [memo] lets runs over
     the same guest image share translations (see {!Translate.Memo});
-    timing is unaffected. *)
+    timing is unaffected. [trace] (default {!Vat_trace.Trace.disabled})
+    records per-tile timelines: service occupancy spans on the "manager"
+    and "l15.N" tracks, translate spans on "slave.N", L2/L1.5 code-cache
+    hit/miss/install events, and recovery-path instants. Tracing only
+    observes; simulated cycle counts are unchanged. *)
 
 val seed : t -> int -> unit
 (** Queue the program entry point before the run starts. *)
@@ -46,6 +51,19 @@ val invalidate_page : t -> page:int -> unit
 
 val queue_length : t -> int
 (** Blocks awaiting translation — the morph trigger metric. *)
+
+val mgr_queue_length : t -> int
+(** Requests waiting at (or in service on) the manager tile right now. *)
+
+val mgr_max_queue : t -> int
+(** High-water mark of the manager tile's request queue over the run. *)
+
+val l15_max_queue : t -> int
+(** Largest request-queue high-water mark across the L1.5 bank tiles. *)
+
+val recovery_code_names : (int * string) list
+(** Meaning of the arg carried by [Recovery] records on the manager
+    track (install-retransmit, fill-retry, demand-translate, ...). *)
 
 val active_slaves : t -> int
 

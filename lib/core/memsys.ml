@@ -1,9 +1,18 @@
 open Vat_desim
 open Vat_tiled
 open Vat_guest
+module Tr = Vat_trace.Trace
 
 type mmu_req = { vaddr : int; write : bool; on_done : unit -> unit }
 type bank_req = { paddr : int; bwrite : bool; bank : int; bon_done : unit -> unit }
+
+(* Pre-resolved trace emitters (dead branches untraced). Bank cache events
+   land on the "l2d.N" tracks; recovery instants on "mmu". *)
+type probes = {
+  bank_hit : Tr.emitter array;
+  bank_miss : Tr.emitter array;
+  recover : Tr.emitter;
+}
 
 type t = {
   q : Event_queue.t;
@@ -25,7 +34,12 @@ type t = {
   mutable bank_services : bank_req Service.t array;
   mutable reconfiguring : bool;
   mutable on_fatal : (string -> unit) option;
+  pr : probes;
 }
+
+(* What the arg of a [Recovery] record on the "mmu" track means. *)
+let recovery_code_names =
+  [ (1, "mem-retry"); (2, "direct-dram"); (3, "uncached-dram"); (4, "rebank") ]
 
 let the_mmu t =
   match t.mmu with Some s -> s | None -> assert false
@@ -102,10 +116,12 @@ let make_bank_service t idx =
       let occupancy =
         if hit then begin
           Stats.incr t.stats "l2d.hits";
+          Tr.emit t.pr.bank_hit.(bank) ~cycle:(Event_queue.now t.q) ~arg:paddr;
           t.cfg.Config.l2d_bank_cycles
         end
         else begin
           Stats.incr t.stats "l2d.misses";
+          Tr.emit t.pr.bank_miss.(bank) ~cycle:(Event_queue.now t.q) ~arg:paddr;
           t.cfg.Config.l2d_bank_cycles + t.cfg.Config.dram_cycles
           + (match writeback with
              | Some _ -> t.cfg.Config.writeback_cycles
@@ -151,6 +167,7 @@ let make_mmu t =
       if Array.length t.bank_map = 0 then begin
         (* Every bank is dead: the MMU serves straight from DRAM. *)
         Stats.incr t.stats "fault.uncached_dram_accesses";
+        Tr.emit t.pr.recover ~cycle:(Event_queue.now t.q) ~arg:3;
         ( occupancy + t.cfg.Config.dram_cycles,
           fun () ->
             Event_queue.after t.q ~delay:(Layout.lat_exec_mmu t.layout) on_done )
@@ -164,7 +181,7 @@ let make_mmu t =
               { paddr; bwrite = write; bank = phys; bon_done = on_done } )
       end)
 
-let create q stats cfg layout ~page_table =
+let create ?(trace = Tr.disabled) q stats cfg layout ~page_table =
   let banks =
     Array.init max_banks (fun i ->
         Cache.create
@@ -173,6 +190,17 @@ let create q stats cfg layout ~page_table =
           ~line_bytes:cfg.Config.line_bytes)
   in
   let n_banks = min max_banks (max 1 cfg.Config.n_l2d_banks) in
+  let mmu_track = Tr.track trace "mmu" in
+  let bank_track i = Tr.track trace (Printf.sprintf "l2d.%d" i) in
+  let pr =
+    { bank_hit =
+        Array.init max_banks (fun i ->
+            Tr.emitter trace ~track:(bank_track i) Tr.Cache_hit);
+      bank_miss =
+        Array.init max_banks (fun i ->
+            Tr.emitter trace ~track:(bank_track i) Tr.Cache_miss);
+      recover = Tr.emitter trace ~track:mmu_track Tr.Recovery }
+  in
   let t =
     { q;
       stats;
@@ -192,10 +220,22 @@ let create q stats cfg layout ~page_table =
       mmu = None;
       bank_services = [||];
       reconfiguring = false;
-      on_fatal = None }
+      on_fatal = None;
+      pr }
   in
   t.mmu <- Some (make_mmu t);
   t.bank_services <- Array.init max_banks (make_bank_service t);
+  Service.set_probe (the_mmu t)
+    ~recv:(Tr.emitter trace ~track:mmu_track Tr.Msg_recv)
+    ~start:(Tr.emitter trace ~track:mmu_track Tr.Serve_begin)
+    ~stop:(Tr.emitter trace ~track:mmu_track Tr.Serve_end);
+  Array.iteri
+    (fun i svc ->
+      Service.set_probe svc
+        ~recv:(Tr.emitter trace ~track:(bank_track i) Tr.Msg_recv)
+        ~start:(Tr.emitter trace ~track:(bank_track i) Tr.Serve_begin)
+        ~stop:(Tr.emitter trace ~track:(bank_track i) Tr.Serve_end))
+    t.bank_services;
   t
 
 let submit_access t ~addr ~write ~on_done =
@@ -223,10 +263,12 @@ let access t ~addr ~write ~on_done =
             Stats.incr t.stats "fault.mem_timeouts";
             if retries < t.cfg.Config.mem_max_retries then begin
               Stats.incr t.stats "fault.mem_retries";
+              Tr.emit t.pr.recover ~cycle:(Event_queue.now t.q) ~arg:1;
               attempt (retries + 1) (deadline * t.cfg.Config.fill_backoff_mult)
             end
             else begin
               Stats.incr t.stats "fault.mem_direct_dram";
+              Tr.emit t.pr.recover ~cycle:(Event_queue.now t.q) ~arg:2;
               Event_queue.after t.q ~delay:t.cfg.Config.dram_cycles reply
             end
           end)
@@ -303,6 +345,7 @@ let retire_bank t i ~stat =
     else
       reshape t (min t.n_banks (max 1 (alive_count t))) ~on_done:(fun dirty ->
           Stats.incr t.stats "fault.rebanks";
+          Tr.emit t.pr.recover ~cycle:(Event_queue.now t.q) ~arg:4;
           Stats.add t.stats "fault.rebank_writebacks" dirty)
   end
 
@@ -352,6 +395,13 @@ let parity_events t =
 
 let bank_queue_total t =
   Array.fold_left (fun acc s -> acc + Service.queue_length s) 0 t.bank_services
+
+let mmu_max_queue t = Service.max_queue_length (the_mmu t)
+
+let bank_max_queue t =
+  Array.fold_left
+    (fun acc s -> max acc (Service.max_queue_length s))
+    0 t.bank_services
 
 let tlb_hits t = t.tlb_hits
 let tlb_misses t = t.tlb_misses

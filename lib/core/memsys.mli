@@ -12,12 +12,17 @@ open Vat_desim
 type t
 
 val create :
+  ?trace:Vat_trace.Trace.t ->
   Event_queue.t ->
   Stats.t ->
   Config.t ->
   Layout.t ->
   page_table:int array ->
   t
+(** [trace] (default disabled) records MMU and bank service occupancy on
+    the "mmu"/"l2d.N" tracks, per-bank cache hit/miss events, and
+    recovery-path instants (retries, direct-DRAM fallbacks, re-banking).
+    Tracing only observes; timing is unchanged. *)
 
 val access : t -> addr:int -> write:bool -> on_done:(unit -> unit) -> unit
 (** Submit a miss from the execution tile's L1 data cache at the current
@@ -92,5 +97,15 @@ val parity_events : t -> int
 (** Corrupt clean lines scrubbed across all banks. *)
 
 val bank_queue_total : t -> int
+
+val mmu_max_queue : t -> int
+(** High-water mark of the MMU tile's request queue over the run. *)
+
+val bank_max_queue : t -> int
+(** Largest request-queue high-water mark across the L2D bank tiles. *)
+
+val recovery_code_names : (int * string) list
+(** Meaning of the arg carried by [Recovery] records on the "mmu" track. *)
+
 val tlb_hits : t -> int
 val tlb_misses : t -> int

@@ -28,6 +28,11 @@ let l1d_miss_rate r =
 
 let reconfigurations r = get r "morph.reconfigurations"
 
+let mgr_queue_hwm r = get r "svc.mgr_queue_hwm"
+let l15_queue_hwm r = get r "svc.l15_queue_hwm"
+let mmu_queue_hwm r = get r "svc.mmu_queue_hwm"
+let l2d_queue_hwm r = get r "svc.l2d_queue_hwm"
+
 let faults_injected r = get r "fault.injected"
 let failed_tiles r = get r "fault.failed_tiles"
 let fault_timeouts r = get r "fault.fill_timeouts" + get r "fault.mem_timeouts"
@@ -69,6 +74,18 @@ let summary r =
       ("mem_access_rate", mem_access_rate r);
       ("l1d_miss_rate", l1d_miss_rate r);
       ("reconfigurations", float_of_int (reconfigurations r)) ]
+  in
+  (* Queue high-water marks: gated on being observed, so results from
+     runs predating the counters (or components never exercised) don't
+     report a spurious zero row. *)
+  let base =
+    base
+    @ List.filter
+        (fun (_, v) -> v > 0.)
+        [ ("mgr_queue_hwm", float_of_int (mgr_queue_hwm r));
+          ("l15_queue_hwm", float_of_int (l15_queue_hwm r));
+          ("mmu_queue_hwm", float_of_int (mmu_queue_hwm r));
+          ("l2d_queue_hwm", float_of_int (l2d_queue_hwm r)) ]
   in
   if faults_injected r = 0 then base
   else

@@ -17,6 +17,18 @@ val mem_access_rate : Vm.result -> float
 val l1d_miss_rate : Vm.result -> float
 val reconfigurations : Vm.result -> int
 
+(** {2 Service-queue high-water marks}
+
+    The largest queue each shared tile ever accumulated (waiting plus in
+    service), recorded unconditionally at the end of every run — the
+    congestion signature behind the paper's Figure 5 without needing a
+    full trace. *)
+
+val mgr_queue_hwm : Vm.result -> int
+val l15_queue_hwm : Vm.result -> int
+val mmu_queue_hwm : Vm.result -> int
+val l2d_queue_hwm : Vm.result -> int
+
 (** {2 Fault and recovery counters} (all zero on a fault-free run) *)
 
 val faults_injected : Vm.result -> int
@@ -57,8 +69,9 @@ val silent_corruptions : Vm.result -> int
     this is identically zero whenever fault tolerance is armed. *)
 
 val summary : Vm.result -> (string * float) list
-(** Everything above, for printing; fault and corruption counters are
-    included only when a fault was actually injected. *)
+(** Everything above, for printing; queue high-water marks appear only
+    when observed (non-zero), and fault and corruption counters only when
+    a fault was actually injected. *)
 
 val get : Vm.result -> string -> int
 (** Raw counter access. *)

@@ -1,4 +1,5 @@
 open Vat_desim
+module Tr = Vat_trace.Trace
 
 type t = {
   q : Event_queue.t;
@@ -9,6 +10,9 @@ type t = {
   mutable morphing : bool;
   mutable last_morph : int;
   mutable count : int;
+  (* Trace probes on the "morph" track (dead branches untraced). *)
+  p_morph : Tr.emitter;   (* arg = 1 -> trans config, 0 -> mem config *)
+  p_qdepth : Tr.emitter;  (* the sampled translate-queue length *)
 }
 
 let trans_slaves = 9
@@ -41,6 +45,9 @@ let morph_to t target =
   t.morphing <- true;
   t.count <- t.count + 1;
   Stats.incr t.stats "morph.reconfigurations";
+  Tr.emit t.p_morph
+    ~cycle:(Event_queue.now t.q)
+    ~arg:(match target with `Trans -> 1 | `Mem -> 0);
   let ts, tb, ms, mb = effective t in
   let finished () =
     t.morphing <- false;
@@ -63,6 +70,7 @@ let sample t ~threshold ~dwell =
   if not t.morphing && Event_queue.now t.q - t.last_morph >= dwell then begin
     let qlen = Manager.queue_length t.manager in
     Stats.set_max t.stats "morph.max_sampled_queue" qlen;
+    Tr.emit t.p_qdepth ~cycle:(Event_queue.now t.q) ~arg:qlen;
     let ts, tb, ms, mb = effective t in
     if ts = ms && tb = mb then ()
       (* Attrition left nothing to trade between the two configurations. *)
@@ -88,7 +96,8 @@ let quarantine_scan t ~threshold =
     (fun i n -> if n >= threshold then Memsys.quarantine_bank t.memsys i)
     (Memsys.bank_corruptions t.memsys)
 
-let create q stats cfg manager memsys =
+let create ?(trace = Tr.disabled) q stats cfg manager memsys =
+  let mtrack = Tr.track trace "morph" in
   let t =
     { q;
       stats;
@@ -97,7 +106,9 @@ let create q stats cfg manager memsys =
       memsys;
       morphing = false;
       last_morph = 0;
-      count = 0 }
+      count = 0;
+      p_morph = Tr.emitter trace ~track:mtrack Tr.Morph_decision;
+      p_qdepth = Tr.emitter trace ~track:mtrack Tr.Queue_depth }
   in
   (match cfg.Config.morph with
    | Config.No_morph -> ()

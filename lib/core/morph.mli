@@ -13,9 +13,11 @@ open Vat_desim
 type t
 
 val create :
+  ?trace:Vat_trace.Trace.t ->
   Event_queue.t -> Stats.t -> Config.t -> Manager.t -> Memsys.t -> t
 (** Starts the sampling loop when the configuration enables morphing;
-    otherwise inert.
+    otherwise inert. [trace] (default disabled) records each morph
+    decision and the sampled translate-queue length on the "morph" track.
 
     With {!Config.t.fault_tolerance} armed and a positive
     {!Config.t.quarantine_threshold}, also starts the quarantine monitor:

@@ -1,6 +1,7 @@
 open Vat_desim
 open Vat_guest
 open Vat_tiled
+module Tr = Vat_trace.Trace
 
 type result = {
   outcome : Exec.outcome;
@@ -18,17 +19,19 @@ type instance = {
   i_layout : Layout.t;
 }
 
-let create ?input ?memo q stats cfg prog =
+let create ?input ?memo ?trace q stats cfg prog =
   let layout = Layout.create (Grid.create ()) in
   let manager =
-    Manager.create ?memo q stats cfg layout
+    Manager.create ?memo ?trace q stats cfg layout
       ~fetch:(Mem.read_u8 prog.Program.mem)
       ~page_gen:(fun ~page -> Mem.page_generation prog.Program.mem ~page)
   in
   let memsys =
-    Memsys.create q stats cfg layout ~page_table:prog.Program.page_table
+    Memsys.create ?trace q stats cfg layout ~page_table:prog.Program.page_table
   in
-  let exec = Exec.create q stats cfg layout prog ~manager ~memsys ?input () in
+  let exec =
+    Exec.create q stats cfg layout prog ~manager ~memsys ?input ?trace ()
+  in
   (* An uncorrectable parity error (corrupt dirty L2D line: the only copy
      of the data is gone) must end the run as a clean fault, never return
      a silent wrong value. *)
@@ -168,11 +171,23 @@ let apply_fault t stats (e : Fault.event) =
   | "exec", _ -> unrecoverable "execution"
   | role, _ -> invalid_arg ("Vm.apply_fault: unknown fault site " ^ role)
 
-let schedule_faults inst stats q plan =
+let fault_class_code k =
+  match Fault.class_of_kind k with
+  | Fault.C_fail_stop -> 0
+  | Fault.C_drop -> 1
+  | Fault.C_slow -> 2
+  | Fault.C_corrupt_payload -> 3
+  | Fault.C_corrupt_storage -> 4
+  | Fault.C_duplicate -> 5
+
+let schedule_faults ?(fault_emit = Tr.null_emitter) inst stats q plan =
   List.iter
     (fun (e : Fault.event) ->
       Event_queue.schedule q ~at:e.at (fun () ->
-          if not (Exec.finished inst.i_exec) then apply_fault inst stats e))
+          if not (Exec.finished inst.i_exec) then begin
+            Tr.emit fault_emit ~cycle:e.at ~arg:(fault_class_code e.kind);
+            apply_fault inst stats e
+          end))
     (Fault.events plan)
 
 (* Forward-progress watchdog: with faults in play, an unanticipated hang
@@ -204,7 +219,7 @@ let start_watchdog exec stats q ~stall_cycles =
   Event_queue.after q ~delay:interval watch
 
 let run ?input ?memo ?(fuel = 50_000_000) ?(max_cycles = 2_000_000_000)
-    ?(faults = Fault.empty) cfg prog =
+    ?(faults = Fault.empty) ?(trace = Tr.disabled) cfg prog =
   (match Config.validate cfg with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Vm.run: " ^ msg));
@@ -214,12 +229,37 @@ let run ?input ?memo ?(fuel = 50_000_000) ?(max_cycles = 2_000_000_000)
   in
   let q = Event_queue.create () in
   let stats = Stats.create () in
-  let inst = create ?input ?memo q stats cfg prog in
+  let inst = create ?input ?memo ~trace q stats cfg prog in
   let manager = inst.i_manager in
   let memsys = inst.i_memsys in
   let exec = inst.i_exec in
-  let morph = Morph.create q stats cfg manager memsys in
-  schedule_faults inst stats q faults;
+  let morph = Morph.create ~trace q stats cfg manager memsys in
+  if Tr.enabled trace then begin
+    (* Decimated queue-depth sampler. It observes from the event-queue
+       probe and schedules nothing, so the traced run replays the exact
+       event sequence of the untraced one. *)
+    let interval = max 1 cfg.Config.sample_interval in
+    let gauge name =
+      Tr.emitter trace ~track:(Tr.track trace name) Tr.Queue_depth
+    in
+    let d_trans = gauge "translate-queue" in
+    let d_mgr = gauge "mgr-queue" in
+    let d_l2d = gauge "l2d-queue" in
+    let d_events = gauge "events" in
+    let next = ref 0 in
+    Event_queue.set_probe q (fun ~now ~pending ->
+        if now >= !next then begin
+          next := now + interval;
+          Tr.emit d_trans ~cycle:now ~arg:(Manager.queue_length manager);
+          Tr.emit d_mgr ~cycle:now ~arg:(Manager.mgr_queue_length manager);
+          Tr.emit d_l2d ~cycle:now ~arg:(Memsys.bank_queue_total memsys);
+          Tr.emit d_events ~cycle:now ~arg:pending
+        end)
+  end;
+  let fault_emit =
+    Tr.emitter trace ~track:(Tr.track trace "faults") Tr.Fault_inject
+  in
+  schedule_faults ~fault_emit inst stats q faults;
   if cfg.Config.fault_tolerance then
     start_watchdog exec stats q ~stall_cycles:cfg.Config.watchdog_stall_cycles;
   let outcome = ref None in
@@ -241,6 +281,13 @@ let run ?input ?memo ?(fuel = 50_000_000) ?(max_cycles = 2_000_000_000)
   Stats.add stats "morph.count" (Morph.morphs morph);
   Stats.add stats "mmu.tlb_hits" (Memsys.tlb_hits memsys);
   Stats.add stats "mmu.tlb_misses" (Memsys.tlb_misses memsys);
+  (* Service-queue high-water marks (tracked unconditionally; see
+     Service.max_queue_length) — the congestion signature behind the
+     paper's Figure 5 without needing a full trace. *)
+  Stats.set_max stats "svc.mgr_queue_hwm" (Manager.mgr_max_queue manager);
+  Stats.set_max stats "svc.l15_queue_hwm" (Manager.l15_max_queue manager);
+  Stats.set_max stats "svc.mmu_queue_hwm" (Memsys.mmu_max_queue memsys);
+  Stats.set_max stats "svc.l2d_queue_hwm" (Memsys.bank_max_queue memsys);
   Stats.add stats "fault.dropped_requests"
     (Manager.dropped_requests manager + Memsys.dropped_requests memsys);
   Stats.add stats "fault.failed_tiles" (Grid.failed_tiles (Layout.grid inst.i_layout));

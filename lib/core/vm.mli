@@ -21,7 +21,7 @@ type result = {
 
 val run :
   ?input:string -> ?memo:Translate.Memo.t -> ?fuel:int -> ?max_cycles:int ->
-  ?faults:Fault.plan ->
+  ?faults:Fault.plan -> ?trace:Vat_trace.Trace.t ->
   Config.t -> Program.t ->
   result
 (** [fuel] defaults to 50M guest instructions; [max_cycles] (default 2G)
@@ -38,7 +38,17 @@ val run :
     degraded paths, and the forward-progress watchdog). Recoverable
     faults change timing but never guest-visible semantics; unrecoverable
     ones (exec/manager/MMU fail-stop) end the run with a clean [Fault]
-    outcome. The same plan and program reproduce byte-identical stats. *)
+    outcome. The same plan and program reproduce byte-identical stats.
+
+    [trace] (default {!Vat_trace.Trace.disabled}) records a time-resolved
+    event trace: per-tile service/translate/fill spans, code-cache and
+    block-entry events, sampled queue depths (every
+    {!Config.t.sample_interval} cycles, via an event-queue observation
+    probe that schedules nothing), morph decisions, and fault/recovery
+    instants. Tracing never changes modelled timing: a traced run's
+    cycles, digest, and stats are identical to the untraced run's, and
+    with the disabled recorder the whole subsystem reduces to dead
+    branches. Export with {!Vat_trace.Chrome} or {!Vat_trace.Report}. *)
 
 val fault_menu :
   ?recoverable_only:bool -> ?classes:Fault.kind_class list -> Config.t ->
@@ -70,6 +80,7 @@ type instance
 val create :
   ?input:string ->
   ?memo:Translate.Memo.t ->
+  ?trace:Vat_trace.Trace.t ->
   Event_queue.t ->
   Stats.t ->
   Config.t ->

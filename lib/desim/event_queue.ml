@@ -8,11 +8,16 @@ type t = {
   mutable size : int;
   mutable clock : int;
   mutable next_seq : int;
+  mutable probe : (now:int -> pending:int -> unit) option;
 }
 
 let dummy = { time = 0; seq = 0; action = ignore }
 
-let create () = { heap = Array.make 64 dummy; size = 0; clock = 0; next_seq = 0 }
+let create () =
+  { heap = Array.make 64 dummy; size = 0; clock = 0; next_seq = 0; probe = None }
+
+let set_probe t f = t.probe <- Some f
+let clear_probe t = t.probe <- None
 
 let now t = t.clock
 
@@ -73,6 +78,9 @@ let step t =
   else begin
     let e = pop t in
     t.clock <- e.time;
+    (match t.probe with
+     | None -> ()
+     | Some f -> f ~now:e.time ~pending:t.size);
     e.action ();
     true
   end

@@ -21,6 +21,16 @@ val after : t -> delay:int -> (unit -> unit) -> unit
 val pending : t -> int
 (** Number of events not yet fired. *)
 
+val set_probe : t -> (now:int -> pending:int -> unit) -> unit
+(** Install an observation hook called on every {!step}, after the clock
+    advances and before the event's action runs, with the new time and
+    the number of events still pending. The probe must only observe (a
+    tracer's sampler, for instance): scheduling or mutating simulation
+    state from it would perturb the run it is watching. At most one probe
+    is installed; a second call replaces the first. *)
+
+val clear_probe : t -> unit
+
 val step : t -> bool
 (** Fire the next event, advancing time to it. Returns [false] when the
     queue is empty. *)

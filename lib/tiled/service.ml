@@ -21,6 +21,12 @@ type 'req t = {
   mutable duplicated : int;
   mutable on_reject : ('req -> unit) option;
   mutable on_corrupt : ('req -> 'req) option;
+  mutable max_queue : int;
+  (* Trace probes: null emitters by default, so an untraced service pays
+     one dead branch per event (see Vat_trace.Trace). *)
+  mutable pr_recv : Vat_trace.Trace.emitter;
+  mutable pr_start : Vat_trace.Trace.emitter;
+  mutable pr_stop : Vat_trace.Trace.emitter;
 }
 
 let create q ~name ~serve =
@@ -43,7 +49,11 @@ let create q ~name ~serve =
     dup_budget = 0;
     duplicated = 0;
     on_reject = None;
-    on_corrupt = None }
+    on_corrupt = None;
+    max_queue = 0;
+    pr_recv = Vat_trace.Trace.null_emitter;
+    pr_start = Vat_trace.Trace.null_emitter;
+    pr_stop = Vat_trace.Trace.null_emitter }
 
 (* "Idle" for drain purposes: nothing in service, and nothing startable
    (a paused service with queued work counts as drained — the queue will
@@ -70,8 +80,12 @@ let rec start_next t =
     in
     t.in_service <- true;
     t.busy_cycles <- t.busy_cycles + occupancy;
+    Vat_trace.Trace.emit t.pr_start
+      ~cycle:(Event_queue.now t.q)
+      ~arg:(Queue.length t.pending + 1);
     Event_queue.after t.q ~delay:(max 1 occupancy) (fun () ->
         t.in_service <- false;
+        Vat_trace.Trace.emit t.pr_stop ~cycle:(Event_queue.now t.q) ~arg:occupancy;
         if t.failed then begin
           (* The tile died mid-service: the reply is never sent. *)
           t.dropped <- t.dropped + 1;
@@ -124,12 +138,21 @@ let submit t ~delay req =
             t.duplicated <- t.duplicated + 1;
             Queue.push req t.pending
           end;
+          let ql = Queue.length t.pending + if t.in_service then 1 else 0 in
+          if ql > t.max_queue then t.max_queue <- ql;
+          Vat_trace.Trace.emit t.pr_recv ~cycle:(Event_queue.now t.q) ~arg:ql;
           start_next t
       end)
 
 let queue_length t = Queue.length t.pending + if t.in_service then 1 else 0
+let max_queue_length t = t.max_queue
 let busy_cycles t = t.busy_cycles
 let served t = t.served
+
+let set_probe t ~recv ~start ~stop =
+  t.pr_recv <- recv;
+  t.pr_start <- start;
+  t.pr_stop <- stop
 
 let drain_then t action =
   if idle t then action () else t.waiters <- action :: t.waiters

@@ -24,8 +24,23 @@ val submit : 'req t -> delay:int -> 'req -> unit
 val queue_length : _ t -> int
 (** Requests waiting or in service right now. *)
 
+val max_queue_length : _ t -> int
+(** High-water mark of {!queue_length} over the run (measured at each
+    arrival; tracked unconditionally — it is a handful of compares). *)
+
 val busy_cycles : _ t -> int
 (** Total cycles spent serving (utilization numerator). *)
+
+val set_probe :
+  _ t ->
+  recv:Vat_trace.Trace.emitter ->
+  start:Vat_trace.Trace.emitter ->
+  stop:Vat_trace.Trace.emitter ->
+  unit
+(** Install trace emitters: [recv] fires at each arrival (arg = queue
+    length after enqueue), [start] when a request enters service (arg =
+    queue length), [stop] at completion (arg = occupancy). Defaults are
+    null emitters, so an unprobed service records nothing. *)
 
 val served : _ t -> int
 

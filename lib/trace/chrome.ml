@@ -1,0 +1,123 @@
+(* Span pairing is per track: each track carries at most one open span of
+   each paired kind at a time (services are serialized, slaves translate
+   one block at a time, the exec tile blocks on one fill), so a simple
+   open-slot per (track, span class) suffices. A begin with a span already
+   open replaces it; a span still open at the end of the trace is closed
+   at the trace's last cycle. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* The three begin/end pairs, as (class index, span name). *)
+let span_class (k : Trace.kind) =
+  match k with
+  | Trace.Serve_begin -> Some (0, "serve", true)
+  | Trace.Serve_end -> Some (0, "serve", false)
+  | Trace.Translate_begin -> Some (1, "translate", true)
+  | Trace.Translate_end -> Some (1, "translate", false)
+  | Trace.Fill_begin -> Some (2, "fill", true)
+  | Trace.Fill_end -> Some (2, "fill", false)
+  | _ -> None
+
+let n_span_classes = 3
+
+let write oc (t : Trace.t) =
+  let first = ref true in
+  let event fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else output_string oc ",\n";
+        output_string oc "    ";
+        output_string oc s)
+      fmt
+  in
+  output_string oc "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
+  event "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"vat virtual architecture\"}}";
+  for id = 0 to Trace.n_tracks t - 1 do
+    event
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+      id
+      (json_escape (Trace.track_name t id));
+    event
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%d}}"
+      id id
+  done;
+  (* open.(track * n_span_classes + class) = Some (begin cycle, arg) *)
+  let open_spans = Array.make (max 1 (Trace.n_tracks t) * n_span_classes) None in
+  let close_span track cls name (b_cycle, b_arg) e_cycle =
+    event
+      "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":\"%s\",\"args\":{\"arg\":%d}}"
+      track b_cycle
+      (max 0 (e_cycle - b_cycle))
+      name b_arg;
+    open_spans.((track * n_span_classes) + cls) <- None
+  in
+  Trace.iter t (fun { Trace.cycle; track; kind; arg } ->
+      match span_class kind with
+      | Some (cls, name, is_begin) ->
+        let slot = (track * n_span_classes) + cls in
+        if is_begin then open_spans.(slot) <- Some (cycle, arg)
+        else begin
+          match open_spans.(slot) with
+          | Some b -> close_span track cls name b cycle
+          | None -> ()
+        end
+      | None -> begin
+        match kind with
+        | Trace.Queue_depth ->
+          event
+            "{\"ph\":\"C\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"name\":\"%s\",\"args\":{\"depth\":%d}}"
+            track cycle
+            (json_escape (Trace.track_name t track))
+            arg
+        | Trace.Msg_recv ->
+          event
+            "{\"ph\":\"C\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"name\":\"%s.queue\",\"args\":{\"depth\":%d}}"
+            track cycle
+            (json_escape (Trace.track_name t track))
+            arg
+        | Trace.Morph_decision | Trace.Fault_inject | Trace.Recovery
+        | Trace.Cache_miss | Trace.Cache_install ->
+          event
+            "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"s\":\"t\",\"name\":\"%s\",\"args\":{\"arg\":%d}}"
+            track cycle
+            (Trace.kind_name kind)
+            arg
+        | Trace.Cache_hit | Trace.Block_dispatch | Trace.Block_chain ->
+          (* High-rate instants: summarized by the hot-block profile and
+             utilization report instead of flooding the timeline view. *)
+          ()
+        | Trace.Serve_begin | Trace.Serve_end | Trace.Translate_begin
+        | Trace.Translate_end | Trace.Fill_begin | Trace.Fill_end ->
+          (* Handled by the span pass above. *)
+          ()
+      end);
+  (* Close any span left open at the end of the run. *)
+  let last = Trace.max_cycle t in
+  Array.iteri
+    (fun slot o ->
+      match o with
+      | None -> ()
+      | Some b ->
+        let track = slot / n_span_classes and cls = slot mod n_span_classes in
+        let name =
+          match cls with 0 -> "serve" | 1 -> "translate" | _ -> "fill"
+        in
+        close_span track cls name b last)
+    open_spans;
+  output_string oc "\n  ]\n}\n"
+
+let to_file path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc t)

@@ -1,0 +1,189 @@
+type span = { s_track : int; s_begin : int; s_end : int }
+
+let is_begin (k : Trace.kind) =
+  match k with
+  | Trace.Serve_begin | Trace.Translate_begin | Trace.Fill_begin -> true
+  | _ -> false
+
+let is_end (k : Trace.kind) =
+  match k with
+  | Trace.Serve_end | Trace.Translate_end | Trace.Fill_end -> true
+  | _ -> false
+
+let spans t =
+  (* One open span per track at a time (services are serialized; the exec
+     tile blocks on one fill): pairing by track alone is sufficient. *)
+  let open_at = Array.make (max 1 (Trace.n_tracks t)) (-1) in
+  let out = ref [] in
+  Trace.iter t (fun { Trace.cycle; track; kind; arg = _ } ->
+      if is_begin kind then open_at.(track) <- cycle
+      else if is_end kind && open_at.(track) >= 0 then begin
+        out := { s_track = track; s_begin = open_at.(track); s_end = cycle } :: !out;
+        open_at.(track) <- -1
+      end);
+  let last = Trace.max_cycle t in
+  Array.iteri
+    (fun track b ->
+      if b >= 0 then out := { s_track = track; s_begin = b; s_end = last } :: !out)
+    open_at;
+  List.rev !out
+
+let busy_fraction t ~track ~total_cycles =
+  if total_cycles <= 0 then 0.
+  else begin
+    let busy =
+      List.fold_left
+        (fun acc s -> if s.s_track = track then acc + (s.s_end - s.s_begin) else acc)
+        0 (spans t)
+    in
+    min 1.0 (float_of_int busy /. float_of_int total_cycles)
+  end
+
+let utilization_table ?(buckets = 20) t ~total_cycles =
+  let buckets = max 1 buckets in
+  let total = max 1 total_cycles in
+  let n = max 1 (Trace.n_tracks t) in
+  (* busy.(track).(bucket) = cycles inside spans *)
+  let busy = Array.make_matrix n buckets 0 in
+  let has_spans = Array.make n false in
+  let width = (total + buckets - 1) / buckets in
+  List.iter
+    (fun s ->
+      if s.s_track < n then begin
+        has_spans.(s.s_track) <- true;
+        (* Clip the span to each bucket it overlaps. *)
+        let b0 = min (buckets - 1) (s.s_begin / width) in
+        let b1 = min (buckets - 1) (max s.s_begin (s.s_end - 1) / width) in
+        for b = b0 to b1 do
+          let lo = max s.s_begin (b * width)
+          and hi = min s.s_end ((b + 1) * width) in
+          if hi > lo then busy.(s.s_track).(b) <- busy.(s.s_track).(b) + (hi - lo)
+        done
+      end)
+    (spans t);
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "per-tile utilization (%d buckets of %d cycles; '.'=idle, digits are deciles of busy time)\n"
+       buckets width);
+  Buffer.add_string buf (Printf.sprintf "%-16s %6s  %s\n" "tile" "busy%" "timeline");
+  for trk = 0 to Trace.n_tracks t - 1 do
+    if has_spans.(trk) then begin
+      let total_busy = Array.fold_left ( + ) 0 busy.(trk) in
+      let bar = Bytes.make buckets '.' in
+      for b = 0 to buckets - 1 do
+        let frac = float_of_int busy.(trk).(b) /. float_of_int width in
+        if frac > 0.0 then
+          Bytes.set bar b
+            (Char.chr (Char.code '0' + min 9 (int_of_float (frac *. 10.))))
+      done;
+      Buffer.add_string buf
+        (Printf.sprintf "%-16s %5.1f%%  %s\n"
+           (Trace.track_name t trk)
+           (100. *. float_of_int total_busy /. float_of_int total)
+           (Bytes.to_string bar))
+    end
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Hot-block profile                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type block_stat = {
+  addr : int;
+  dispatches : int;
+  chains : int;
+  cycles : int;
+}
+
+let block_profile ?(track_name = "exec") t =
+  match Trace.find_track t track_name with
+  | None -> []
+  | Some exec_track ->
+    let table : (int, block_stat ref) Hashtbl.t = Hashtbl.create 256 in
+    let stat addr =
+      match Hashtbl.find_opt table addr with
+      | Some r -> r
+      | None ->
+        let r = ref { addr; dispatches = 0; chains = 0; cycles = 0 } in
+        Hashtbl.add table addr r;
+        r
+    in
+    (* Attribute the cycles between consecutive block entries to the
+       earlier block (its execution plus its exit-path dispatch cost). *)
+    let prev = ref None in
+    let entry addr cycle chained =
+      (match !prev with
+       | Some (paddr, pcycle) when cycle > pcycle ->
+         let r = stat paddr in
+         r := { !r with cycles = !r.cycles + (cycle - pcycle) }
+       | _ -> ());
+      prev := Some (addr, cycle);
+      let r = stat addr in
+      r :=
+        if chained then { !r with chains = !r.chains + 1 }
+        else { !r with dispatches = !r.dispatches + 1 }
+    in
+    Trace.iter t (fun { Trace.cycle; track; kind; arg } ->
+        if track = exec_track then
+          match kind with
+          | Trace.Block_dispatch -> entry arg cycle false
+          | Trace.Block_chain -> entry arg cycle true
+          | _ -> ());
+    (match !prev with
+     | Some (paddr, pcycle) ->
+       let last = Trace.max_cycle t in
+       if last > pcycle then begin
+         let r = stat paddr in
+         r := { !r with cycles = !r.cycles + (last - pcycle) }
+       end
+     | None -> ());
+    Hashtbl.fold (fun _ r acc -> !r :: acc) table []
+    |> List.sort (fun a b ->
+           match compare b.cycles a.cycles with
+           | 0 -> compare a.addr b.addr
+           | c -> c)
+
+let hot_blocks ?(top = 20) ?track_name t =
+  let profile = block_profile ?track_name t in
+  let total_entries =
+    List.fold_left (fun acc s -> acc + s.dispatches + s.chains) 0 profile
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "hot blocks (top %d of %d by attributed cycles; %d block entries)\n"
+       (min top (List.length profile))
+       (List.length profile) total_entries);
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %10s %10s %7s %12s %7s\n" "guest-pc" "dispatches"
+       "chains" "chain%" "cycles" "cum%");
+  let cum = ref 0 in
+  List.iteri
+    (fun i s ->
+      if i < top then begin
+        let entries = s.dispatches + s.chains in
+        cum := !cum + entries;
+        Buffer.add_string buf
+          (Printf.sprintf "0x%08x   %10d %10d %6.1f%% %12d %6.1f%%\n" s.addr
+             s.dispatches s.chains
+             (if entries = 0 then 0.
+              else 100. *. float_of_int s.chains /. float_of_int entries)
+             s.cycles
+             (if total_entries = 0 then 0.
+              else 100. *. float_of_int !cum /. float_of_int total_entries))
+      end)
+    profile;
+  Buffer.contents buf
+
+let render ?buckets ?top t ~total_cycles =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "vat trace: %d records held (%d emitted, %d dropped), %d tracks, last cycle %d\n\n"
+       (Trace.length t) (Trace.total t) (Trace.dropped t) (Trace.n_tracks t)
+       (Trace.max_cycle t));
+  Buffer.add_string buf (utilization_table ?buckets t ~total_cycles);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (hot_blocks ?top t);
+  Buffer.contents buf

@@ -1,0 +1,212 @@
+(* Stride-4 int-array arena: record i lives at data.(4i .. 4i+3) as
+   (cycle, track, kind-code, arg). Unboxed, cache-friendly, and cheap
+   enough that tracing never perturbs what it observes. *)
+
+type t = {
+  on : bool;
+  max_records : int;
+  mutable data : int array;     (* capacity = 4 * cap *)
+  mutable cap : int;            (* records allocated *)
+  mutable head : int;           (* next write slot (record index) *)
+  mutable count : int;          (* records held, <= cap *)
+  mutable total_emitted : int;
+  mutable names : string array; (* track id -> name *)
+  mutable tracks : int;
+  mutable maxc : int;
+}
+
+let disabled =
+  { on = false;
+    max_records = 0;
+    data = [||];
+    cap = 0;
+    head = 0;
+    count = 0;
+    total_emitted = 0;
+    names = [||];
+    tracks = 0;
+    maxc = 0 }
+
+let initial_records = 4096
+
+let create ?(max_records = 1 lsl 21) () =
+  let max_records = max 16 max_records in
+  let cap = min initial_records max_records in
+  { on = true;
+    max_records;
+    data = Array.make (4 * cap) 0;
+    cap;
+    head = 0;
+    count = 0;
+    total_emitted = 0;
+    names = Array.make 8 "";
+    tracks = 0;
+    maxc = 0 }
+
+let enabled t = t.on
+
+(* ------------------------------------------------------------------ *)
+(* Tracks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let find_track t name =
+  let rec go i =
+    if i >= t.tracks then None
+    else if t.names.(i) = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let track t name =
+  if not t.on then 0
+  else
+    match find_track t name with
+    | Some id -> id
+    | None ->
+      if t.tracks = Array.length t.names then begin
+        let bigger = Array.make (2 * t.tracks) "" in
+        Array.blit t.names 0 bigger 0 t.tracks;
+        t.names <- bigger
+      end;
+      let id = t.tracks in
+      t.names.(id) <- name;
+      t.tracks <- id + 1;
+      id
+
+let track_name t id =
+  if id >= 0 && id < t.tracks then t.names.(id) else Printf.sprintf "track%d" id
+
+let n_tracks t = t.tracks
+
+(* ------------------------------------------------------------------ *)
+(* Kinds                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type kind =
+  | Serve_begin
+  | Serve_end
+  | Msg_recv
+  | Queue_depth
+  | Translate_begin
+  | Translate_end
+  | Fill_begin
+  | Fill_end
+  | Block_dispatch
+  | Block_chain
+  | Cache_hit
+  | Cache_miss
+  | Cache_install
+  | Morph_decision
+  | Fault_inject
+  | Recovery
+
+let kind_code = function
+  | Serve_begin -> 0
+  | Serve_end -> 1
+  | Msg_recv -> 2
+  | Queue_depth -> 3
+  | Translate_begin -> 4
+  | Translate_end -> 5
+  | Fill_begin -> 6
+  | Fill_end -> 7
+  | Block_dispatch -> 8
+  | Block_chain -> 9
+  | Cache_hit -> 10
+  | Cache_miss -> 11
+  | Cache_install -> 12
+  | Morph_decision -> 13
+  | Fault_inject -> 14
+  | Recovery -> 15
+
+let kind_of_code = function
+  | 0 -> Serve_begin
+  | 1 -> Serve_end
+  | 2 -> Msg_recv
+  | 3 -> Queue_depth
+  | 4 -> Translate_begin
+  | 5 -> Translate_end
+  | 6 -> Fill_begin
+  | 7 -> Fill_end
+  | 8 -> Block_dispatch
+  | 9 -> Block_chain
+  | 10 -> Cache_hit
+  | 11 -> Cache_miss
+  | 12 -> Cache_install
+  | 13 -> Morph_decision
+  | 14 -> Fault_inject
+  | 15 -> Recovery
+  | n -> invalid_arg (Printf.sprintf "Trace.kind_of_code: %d" n)
+
+let kind_name = function
+  | Serve_begin -> "serve-begin"
+  | Serve_end -> "serve-end"
+  | Msg_recv -> "msg-recv"
+  | Queue_depth -> "queue-depth"
+  | Translate_begin -> "translate-begin"
+  | Translate_end -> "translate-end"
+  | Fill_begin -> "fill-begin"
+  | Fill_end -> "fill-end"
+  | Block_dispatch -> "block-dispatch"
+  | Block_chain -> "block-chain"
+  | Cache_hit -> "cache-hit"
+  | Cache_miss -> "cache-miss"
+  | Cache_install -> "cache-install"
+  | Morph_decision -> "morph"
+  | Fault_inject -> "fault"
+  | Recovery -> "recovery"
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let push t trk code cycle arg =
+  if t.head = t.cap && t.cap < t.max_records then begin
+    let cap = min (2 * t.cap) t.max_records in
+    let bigger = Array.make (4 * cap) 0 in
+    Array.blit t.data 0 bigger 0 (4 * t.cap);
+    t.data <- bigger;
+    t.cap <- cap
+  end;
+  let slot = if t.head = t.cap then 0 else t.head in
+  let base = 4 * slot in
+  t.data.(base) <- cycle;
+  t.data.(base + 1) <- trk;
+  t.data.(base + 2) <- code;
+  t.data.(base + 3) <- arg;
+  t.head <- slot + 1;
+  if t.count < t.cap then t.count <- t.count + 1;
+  t.total_emitted <- t.total_emitted + 1;
+  if cycle > t.maxc then t.maxc <- cycle
+
+type emitter = { e_t : t; e_track : int; e_code : int }
+
+let emitter t ~track kind = { e_t = t; e_track = track; e_code = kind_code kind }
+let null_emitter = { e_t = disabled; e_track = 0; e_code = 0 }
+
+let emit e ~cycle ~arg =
+  if e.e_t.on then push e.e_t e.e_track e.e_code cycle arg
+[@@inline]
+
+(* ------------------------------------------------------------------ *)
+(* Reading back                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type record = { cycle : int; track : int; kind : kind; arg : int }
+
+let length t = t.count
+let total t = t.total_emitted
+let dropped t = t.total_emitted - t.count
+let max_cycle t = t.maxc
+
+let iter t f =
+  (* Oldest surviving record: at [head] once wrapped, else at 0. *)
+  let start = if t.count = t.cap && t.head < t.cap then t.head else 0 in
+  for i = 0 to t.count - 1 do
+    let slot = (start + i) mod t.cap in
+    let base = 4 * slot in
+    f
+      { cycle = t.data.(base);
+        track = t.data.(base + 1);
+        kind = kind_of_code t.data.(base + 2);
+        arg = t.data.(base + 3) }
+  done

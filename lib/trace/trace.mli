@@ -1,0 +1,97 @@
+(** Time-resolved event tracing for the virtual architecture.
+
+    A recorder is a growable arena of fixed-size binary records
+    [(cycle, track, kind, arg)] — four boxed-free ints per event — that
+    components fill through pre-resolved {!emitter} handles, mirroring the
+    [Stats.counter] design: all name resolution happens once at component
+    construction, and the per-event cost is one branch plus four array
+    stores. Past a capacity ceiling the arena wraps as a ring, keeping the
+    most recent window and counting what it dropped.
+
+    The overhead contract: with the shared {!disabled} recorder every
+    [emit] is a single load-and-branch and nothing is allocated or
+    registered, so an untraced simulation is byte-identical in timing to
+    one built without tracing at all. With tracing enabled, emitters only
+    observe the simulation (no events are scheduled, no simulated state is
+    touched), so modelled cycle counts are unchanged — only host memory is
+    spent. Tests pin both properties. *)
+
+type t
+
+val disabled : t
+(** The shared no-op recorder: [enabled] is false, every emit is dropped,
+    and {!track} registers nothing (it returns track 0). Safe to share
+    across domains — it is never mutated. *)
+
+val create : ?max_records:int -> unit -> t
+(** A fresh enabled recorder. The arena grows by doubling up to
+    [max_records] (default [2^21] records, 64 MiB), then wraps as a ring
+    over the most recent records. *)
+
+val enabled : t -> bool
+
+(** {2 Tracks}
+
+    A track is a timeline — one per tile or per sampled quantity. Track
+    ids are small ints resolved once at construction; exporters map them
+    back to names. *)
+
+val track : t -> string -> int
+(** Register (or look up) a named track. Idempotent: the same name always
+    yields the same id. On {!disabled} this is a no-op returning 0. *)
+
+val find_track : t -> string -> int option
+val track_name : t -> int -> string
+val n_tracks : t -> int
+
+(** {2 Record kinds} *)
+
+type kind =
+  | Serve_begin          (** service starts a request; arg = queue length *)
+  | Serve_end            (** service completes; arg = occupancy *)
+  | Msg_recv             (** request enqueued at a service; arg = queue length *)
+  | Queue_depth          (** sampled gauge; arg = depth *)
+  | Translate_begin      (** slave picks up a block; arg = guest addr *)
+  | Translate_end        (** translated block handed off; arg = guest addr *)
+  | Fill_begin           (** exec tile blocks on a code fill; arg = guest addr *)
+  | Fill_end             (** fill arrived and installed; arg = guest addr *)
+  | Block_dispatch       (** block entered via dispatch; arg = guest addr *)
+  | Block_chain          (** block entered via a chained branch; arg = guest addr *)
+  | Cache_hit            (** code-cache hit; arg = guest addr *)
+  | Cache_miss           (** code-cache miss; arg = guest addr *)
+  | Cache_install        (** block installed into a code cache; arg = guest addr *)
+  | Morph_decision       (** reconfiguration decided; arg = 1 trans / 0 mem *)
+  | Fault_inject         (** fault plan event fired; arg = kind-class index *)
+  | Recovery             (** a recovery path ran; arg = path-specific code *)
+
+val kind_name : kind -> string
+
+(** {2 Emitters} *)
+
+type emitter
+(** A pre-bound (recorder, track, kind) triple. *)
+
+val emitter : t -> track:int -> kind -> emitter
+val null_emitter : emitter
+(** Bound to {!disabled}; emits nothing. The default probe value. *)
+
+val emit : emitter -> cycle:int -> arg:int -> unit
+
+(** {2 Reading back} *)
+
+type record = { cycle : int; track : int; kind : kind; arg : int }
+
+val length : t -> int
+(** Records currently held (after any ring wrap). *)
+
+val total : t -> int
+(** Records ever emitted. *)
+
+val dropped : t -> int
+(** [total - length]: oldest records overwritten by the ring. *)
+
+val iter : t -> (record -> unit) -> unit
+(** Oldest to newest surviving record, in emission order. *)
+
+val max_cycle : t -> int
+(** Largest cycle stamp seen (0 when empty); the trace end time. *)

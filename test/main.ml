@@ -18,5 +18,7 @@ let () =
       ("fabric", Test_fabric.suite);
       ("faults", Test_faults.suite);
       ("integrity", Test_integrity.suite);
+      ("faultspec", Test_faultspec.suite);
+      ("trace", Test_trace.suite);
       ("cli", Test_cli.suite);
       ("workloads", Test_workloads.suite) ]

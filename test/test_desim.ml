@@ -82,7 +82,55 @@ let test_counter_handles () =
   Stats.bump_by c 4;
   Alcotest.(check int) "bumps land in the registry" 5 (Stats.get s "hot");
   Stats.incr s "hot";
-  Alcotest.(check int) "same cell as string keys" 6 (Stats.counter_value c)
+  Alcotest.(check int) "same cell as string keys" 6 (Stats.counter_value c);
+  (* A second handle for the same name aliases the same cell, and
+     name-keyed set_max is visible through every handle. *)
+  let c2 = Stats.counter s "hot" in
+  Stats.bump c2;
+  Alcotest.(check int) "second handle aliases the cell" 7
+    (Stats.counter_value c);
+  Stats.set_max s "hot" 100;
+  Alcotest.(check int) "set_max through the name reaches handles" 100
+    (Stats.counter_value c2);
+  Stats.set_max s "hot" 42;
+  Alcotest.(check int) "set_max keeps the maximum" 100 (Stats.get s "hot");
+  Stats.bump c;
+  Alcotest.(check int) "handles still live after set_max" 101
+    (Stats.get s "hot")
+
+let test_probe () =
+  let q = Event_queue.create () in
+  let seen = ref [] in
+  Event_queue.set_probe q (fun ~now ~pending ->
+      seen := (now, pending) :: !seen);
+  Event_queue.schedule q ~at:2 ignore;
+  Event_queue.schedule q ~at:5 ignore;
+  Event_queue.run q;
+  Alcotest.(check (list (pair int int)))
+    "probe observes (clock, remaining) at each step"
+    [ (2, 1); (5, 0) ]
+    (List.rev !seen);
+  Event_queue.clear_probe q;
+  Event_queue.schedule q ~at:9 ignore;
+  Event_queue.run q;
+  Alcotest.(check int) "cleared probe stops firing" 2 (List.length !seen)
+
+let test_probe_is_passive () =
+  (* Same schedule with and without a probe: identical order and clock. *)
+  let run probe =
+    let q = Event_queue.create () in
+    let log = ref [] in
+    if probe then Event_queue.set_probe q (fun ~now:_ ~pending:_ -> ());
+    for i = 0 to 9 do
+      Event_queue.schedule q
+        ~at:(1 + ((i * 7) mod 5))
+        (fun () -> log := i :: !log)
+    done;
+    Event_queue.run q;
+    (List.rev !log, Event_queue.now q)
+  in
+  Alcotest.(check (pair (list int) int))
+    "probe never perturbs the schedule" (run false) (run true)
 
 let test_pool_order () =
   let tasks = List.init 37 (fun i () -> i * i) in
@@ -157,6 +205,8 @@ let suite =
     quick "heap growth" test_heap_growth;
     quick "stats counters" test_stats;
     quick "stats counter handles" test_counter_handles;
+    quick "event-queue probe" test_probe;
+    quick "probe is passive" test_probe_is_passive;
     quick "pool result order" test_pool_order;
     quick "pool map" test_pool_map;
     quick "pool exception propagation" test_pool_exception ]

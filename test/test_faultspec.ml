@@ -1,0 +1,100 @@
+(* The shared fault-spec helper: CLI class parsing (presets, lists,
+   error messages) and plan construction. *)
+
+open Vat_core
+module F = Vat_desim.Fault
+
+let classes_eq = Alcotest.(check bool)
+
+let ok s =
+  match Faultspec.parse_classes s with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "%S rejected: %s" s e
+
+let err s =
+  match Faultspec.parse_classes s with
+  | Error e -> e
+  | Ok _ -> Alcotest.failf "%S unexpectedly accepted" s
+
+let test_presets () =
+  classes_eq "legacy preset" true (ok "legacy" = F.legacy_classes);
+  classes_eq "all preset" true (ok "all" = F.all_classes);
+  classes_eq "corruption preset" true (ok "corruption" = F.corruption_classes)
+
+let test_lists () =
+  classes_eq "single class" true (ok "drop" = [ F.C_drop ]);
+  classes_eq "comma list preserves order" true
+    (ok "slow,fail-stop" = [ F.C_slow; F.C_fail_stop ]);
+  classes_eq "whitespace tolerated" true
+    (ok " drop , duplicate " = [ F.C_drop; F.C_duplicate ]);
+  classes_eq "corruption kinds by name" true
+    (ok "corrupt-payload,corrupt-storage"
+    = [ F.C_corrupt_payload; F.C_corrupt_storage ])
+
+let test_errors () =
+  Alcotest.(check string)
+    "empty input" "--fault-kinds: empty class list" (err "");
+  Alcotest.(check string)
+    "only separators" "--fault-kinds: empty class list" (err " , ,, ");
+  let expected_unknown p =
+    Printf.sprintf
+      "--fault-kinds: unknown fault class %S (known: %s, or the presets \
+       legacy/corruption/all)"
+      p
+      (String.concat ", " (List.map F.class_to_string F.all_classes))
+  in
+  Alcotest.(check string)
+    "unknown class names every known one" (expected_unknown "bogus")
+    (err "drop,bogus");
+  Alcotest.(check string)
+    "presets are not valid list members" (expected_unknown "legacy")
+    (err "drop,legacy")
+
+let test_plan_zero_is_empty () =
+  let p = Faultspec.plan Config.default ~seed:1 ~count:0 in
+  Alcotest.(check bool) "count 0 behaves as the empty plan" true
+    (F.is_empty p);
+  Alcotest.(check int) "no events" 0 (List.length (F.events p))
+
+let test_plan_prefix_stable () =
+  let p4 = Faultspec.plan Config.default ~seed:7 ~count:4 in
+  let p8 = Faultspec.plan Config.default ~seed:7 ~count:8 in
+  let sorted p =
+    List.sort compare
+      (List.map (fun (e : F.event) -> (e.at, e.site, e.kind)) (F.events p))
+  in
+  Alcotest.(check int) "four events" 4 (List.length (F.events p4));
+  Alcotest.(check int) "eight events" 8 (List.length (F.events p8));
+  let s8 = sorted p8 in
+  classes_eq "smaller plan is a subset of the larger" true
+    (List.for_all (fun e -> List.mem e s8) (sorted p4))
+
+let test_plan_matches_inline_random () =
+  (* The helper must draw exactly what callers drew before it existed. *)
+  let cfg = Config.default in
+  let direct =
+    F.random ~seed:2026 ~horizon:400_000 ~menu:(Vm.fault_menu cfg) ~count:6
+  in
+  let via = Faultspec.plan cfg ~seed:2026 ~count:6 in
+  classes_eq "default classes and horizon reproduce Fault.random" true
+    (F.events direct = F.events via);
+  let direct_c =
+    F.random ~seed:11 ~horizon:123
+      ~menu:(Vm.fault_menu ~classes:F.corruption_classes cfg)
+      ~count:5
+  in
+  let via_c =
+    Faultspec.plan ~horizon:123 ~classes:F.corruption_classes cfg ~seed:11
+      ~count:5
+  in
+  classes_eq "explicit classes and horizon reproduce Fault.random" true
+    (F.events direct_c = F.events via_c)
+
+let suite =
+  let quick name f = Alcotest.test_case name `Quick f in
+  [ quick "presets" test_presets;
+    quick "class lists" test_lists;
+    quick "error messages" test_errors;
+    quick "plan count 0 is empty" test_plan_zero_is_empty;
+    quick "plan is prefix-stable" test_plan_prefix_stable;
+    quick "plan matches inline Fault.random" test_plan_matches_inline_random ]
