@@ -388,6 +388,105 @@ let faults () =
     (fault_benchmarks ())
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint/rollback-recovery: previously-terminal faults survived   *)
+(* ------------------------------------------------------------------ *)
+
+let recovery_counts = [ 0; 2; 4; 8 ]
+let recovery_every = 25_000
+
+(* Same seed and prefix-stability as the other fault sweeps, but the menu
+   includes the previously-terminal sites: execution, manager and MMU
+   fail-stops, and dirty-L2D storage loss. *)
+let recovery_plan cfg n =
+  Faultspec.plan ~horizon:fault_horizon ~recoverable_only:false cfg
+    ~seed:fault_seed ~count:n
+
+let recovery_benchmarks () = List.map Suite.find [ "gzip"; "mcf" ]
+
+(* Separate cache from [run_cache]: these runs are allowed to die (that
+   is the point of the bare column), so they bypass [check_outcome]. *)
+let recovery_cache : (string * string, Vm.result) Hashtbl.t = Hashtbl.create 16
+
+let recovery_run ?checkpoint_every (b : Suite.benchmark) n =
+  let key =
+    Printf.sprintf "recov-%d%s" n
+      (match checkpoint_every with Some _ -> "-ckpt" | None -> "")
+  in
+  match Hashtbl.find_opt recovery_cache (b.Suite.name, key) with
+  | Some r -> r
+  | None ->
+    let cfg = Config.default in
+    let r =
+      Vm.run ~fuel ~faults:(recovery_plan cfg n) ~memo:(memo_for b)
+        ?checkpoint_every cfg (Suite.load b)
+    in
+    Hashtbl.replace recovery_cache (b.Suite.name, key) r;
+    r
+
+let recovery_outcome_cell (r : Vm.result) =
+  match r.Vm.outcome with
+  | Exec.Exited _ -> "ok"
+  | Exec.Fault _ -> "DEAD"
+  | Exec.Out_of_fuel -> "fuel"
+
+let recovery () =
+  header
+    (Printf.sprintf
+       "Recovery: unrecoverable-class fault plans, bare vs checkpointed \
+        (seed %d, cumulative plans, checkpoint every %d cycles)"
+       fault_seed recovery_every)
+    (List.concat_map
+       (fun n ->
+         [ Printf.sprintf "%d-bare" n; Printf.sprintf "%d-ckpt" n ])
+       recovery_counts);
+  List.iter
+    (fun b ->
+      row (short_name b)
+        (List.concat_map
+           (fun n ->
+             [ recovery_outcome_cell (recovery_run b n);
+               recovery_outcome_cell
+                 (recovery_run ~checkpoint_every:recovery_every b n) ])
+           recovery_counts))
+    (recovery_benchmarks ());
+  (* The rollback transparency claim, checked, not just printed: every
+     checkpointed cell must finish with the fault-free run's guest state. *)
+  List.iter
+    (fun b ->
+      let clean = recovery_run b 0 in
+      List.iter
+        (fun n ->
+          let ckpt = recovery_run ~checkpoint_every:recovery_every b n in
+          match ckpt.Vm.outcome with
+          | Exec.Exited _ when ckpt.Vm.digest = clean.Vm.digest -> ()
+          | _ ->
+            failwith
+              (Printf.sprintf "%s: checkpointed run diverged under %d faults"
+                 b.Suite.name n))
+        recovery_counts)
+    (recovery_benchmarks ());
+  Printf.printf
+    "(Every checkpointed run survives and its guest digest matches the \
+     fault-free run.)\n";
+  header "Rollback activity at the 8-fault point (checkpointed)"
+    [ "rollbacks"; "replayed"; "masked"; "quarantined"; "cycles"; "overhead" ];
+  List.iter
+    (fun b ->
+      let r0 = recovery_run ~checkpoint_every:recovery_every b 0 in
+      let r = recovery_run ~checkpoint_every:recovery_every b 8 in
+      row (short_name b)
+        [ string_of_int (Metrics.recoveries r);
+          string_of_int (Metrics.replayed_cycles r);
+          string_of_int (Metrics.get r "recovery.masked_faults");
+          string_of_int (Metrics.get r "recovery.quarantines");
+          string_of_int r.Vm.cycles;
+          Printf.sprintf "%+.1f%%"
+            (100.
+             *. (float_of_int r.Vm.cycles -. float_of_int r0.Vm.cycles)
+             /. float_of_int r0.Vm.cycles) ])
+    (recovery_benchmarks ())
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end integrity: degradation under injected soft errors        *)
 (* ------------------------------------------------------------------ *)
 
@@ -510,6 +609,7 @@ let all_figures =
     ("ablations", ablations);
     ("fabric", fabric);
     ("faults", faults);
+    ("recovery", recovery);
     ("corruption", corruption);
     ("trace", trace_fig) ]
 
@@ -603,8 +703,10 @@ let cells_for = function
       (fault_benchmarks ())
     @ piii_cells (fault_benchmarks ())
   (* fig11 reuses whatever is cached; trace runs its two traced gcc
-     simulations inline (a live recorder can't cross Pool domains). *)
-  | "fig11" | "trace" -> []
+     simulations inline (a live recorder can't cross Pool domains);
+     recovery runs inline too (its bare cells are allowed to die, which
+     the shared cell runner treats as an error). *)
+  | "fig11" | "trace" | "recovery" -> []
   | name -> invalid_arg ("Figures.cells_for: unknown figure " ^ name)
 
 (* Build the worker task for a cell, on the main domain (memo handles are

@@ -33,15 +33,34 @@ let build_config base translators banks l15 no_spec no_opt no_chain morph =
     { cfg with Config.morph = Config.Morph { threshold; dwell = 25000 } }
   | None -> cfg
 
-let fault_plan cfg ~faults ~seed ~classes =
+let fault_plan cfg ~faults ~seed ~classes ~unrecoverable =
   if faults = 0 then Vat_desim.Fault.empty
-  else Faultspec.plan ~classes cfg ~seed ~count:faults
+  else
+    Faultspec.plan ~recoverable_only:(not unrecoverable) ~classes cfg ~seed
+      ~count:faults
+
+(* Raised from the checkpoint sink when --halt-at is reached: carries the
+   snapshot to persist before exiting with code 3. *)
+exception Halted_at_checkpoint of Vat_snapshot.Snapshot.t
 
 (* [load] is called once per simulation: guest memory is mutated by a run,
    so the reference model and the translator each get a fresh program. *)
-let compute_one ?(trace = Vat_trace.Trace.disabled) cfg plan load =
+let compute_one ?(trace = Vat_trace.Trace.disabled) ?checkpoint_every
+    ?restore_from ?halt_at cfg plan load =
   let piii = Vat_refmodel.Piii.run (load ()) in
-  let rv = Vm.run ~fuel:100_000_000 ~faults:plan ~trace cfg (load ()) in
+  let on_checkpoint =
+    match halt_at with
+    | None -> None
+    | Some h ->
+      Some
+        (fun s ->
+          if Vat_snapshot.Snapshot.cycle s >= h then
+            raise (Halted_at_checkpoint s))
+  in
+  let rv =
+    Vm.run ~fuel:100_000_000 ~faults:plan ~trace ?checkpoint_every
+      ?on_checkpoint ?restore_from cfg (load ())
+  in
   (piii, rv)
 
 let print_one show_stats name
@@ -74,6 +93,14 @@ let print_one show_stats name
       (Metrics.corruptions_corrected rv)
       (Metrics.quarantined_tiles rv)
       (Metrics.silent_corruptions rv);
+  if Metrics.recoveries rv <> 0 then
+    Printf.printf
+      "  recovery: %d rollbacks, %d cycles replayed, %d faults masked, %d \
+       sites quarantined\n"
+      (Metrics.recoveries rv)
+      (Metrics.replayed_cycles rv)
+      (Metrics.get rv "recovery.masked_faults")
+      (Metrics.get rv "recovery.quarantines");
   if show_stats then begin
     Format.printf "%a" Metrics.pp_result rv;
     Format.printf "%a" Vat_desim.Stats.pp rv.stats
@@ -101,36 +128,84 @@ let export_trace path ~buckets trace (rv : Vm.result) =
          (Vat_trace.Trace.dropped trace)
      else "")
 
-let run_one ?trace_file ~trace_buckets cfg show_stats plan name load =
+(* Exit codes (documented in the README, pinned by test_cli):
+   0 = simulation completed (whatever the guest's own exit code),
+   2 = guest fault, 3 = halted at a checkpoint (--halt-at), 124 = usage
+   error, 125 = internal error. *)
+let outcome_code (rv : Vm.result) =
+  match rv.outcome with Exec.Fault _ -> 2 | Exec.Exited _ | Exec.Out_of_fuel -> 0
+
+let run_one ?trace_file ~trace_buckets ?checkpoint ~checkpoint_every ?halt_at
+    cfg show_stats plan name load =
   let trace =
     match trace_file with
     | Some _ -> Vat_trace.Trace.create ()
     | None -> Vat_trace.Trace.disabled
   in
-  let ((_, rv) as res) = compute_one ~trace cfg plan load in
-  print_one show_stats name res;
-  match trace_file with
-  | Some path -> export_trace path ~buckets:trace_buckets trace rv
-  | None -> ()
+  let restore_from =
+    match checkpoint with
+    | Some file when Sys.file_exists file ->
+      let s = Vat_snapshot.Snapshot.load file in
+      Printf.printf "checkpoint: resuming %s from cycle %d (%s)\n" name
+        (Vat_snapshot.Snapshot.cycle s)
+        file;
+      Some s
+    | _ -> None
+  in
+  let checkpoint_every =
+    match checkpoint with Some _ -> Some checkpoint_every | None -> None
+  in
+  match
+    compute_one ~trace ?checkpoint_every ?restore_from ?halt_at cfg plan load
+  with
+  | (_, rv) as res ->
+    print_one show_stats name res;
+    (match trace_file with
+     | Some path -> export_trace path ~buckets:trace_buckets trace rv
+     | None -> ());
+    (* A finished run's checkpoint is spent: leaving it around would make
+       a re-run resume into the past instead of starting fresh. *)
+    (match checkpoint with
+     | Some file when Sys.file_exists file -> Sys.remove file
+     | _ -> ());
+    outcome_code rv
+  | exception Halted_at_checkpoint s ->
+    let file = match checkpoint with Some f -> f | None -> assert false in
+    Vat_snapshot.Snapshot.save s file;
+    Printf.printf "checkpoint: %s halted at cycle %d -> %s (resume by \
+                   re-running with --checkpoint %s)\n"
+      name
+      (Vat_snapshot.Snapshot.cycle s)
+      file file;
+    3
 
 let main list_benches bench base translators banks l15 no_spec no_opt no_chain
-    morph show_stats faults fault_seed fault_kinds trace_file trace_buckets
-    jobs =
+    morph show_stats faults fault_seed fault_kinds fault_unrecoverable
+    checkpoint checkpoint_every halt_at trace_file trace_buckets jobs =
   if list_benches then begin
     List.iter
       (fun (b : Suite.benchmark) ->
         Printf.printf "%-14s %s\n" b.name b.description)
       Suite.all;
-    `Ok ()
+    `Ok 0
   end
   else if faults < 0 then `Error (false, "--faults must be non-negative")
   else if trace_buckets <= 0 then
     `Error (false, "--trace-buckets must be positive")
+  else if checkpoint_every <= 0 then
+    `Error (false, "--checkpoint-every must be positive")
   else if trace_file <> None && bench = None then
     `Error
       ( false,
         "--trace needs a single benchmark (a whole-suite run would \
          overwrite the trace file once per benchmark)" )
+  else if checkpoint <> None && bench = None then
+    `Error
+      ( false,
+        "--checkpoint needs a single benchmark (a whole-suite run would \
+         overwrite the checkpoint file once per benchmark)" )
+  else if halt_at <> None && checkpoint = None then
+    `Error (false, "--halt-at needs --checkpoint to save the snapshot to")
   else
     match Faultspec.parse_classes fault_kinds with
     | Error msg -> `Error (false, msg)
@@ -143,15 +218,27 @@ let main list_benches bench base translators banks l15 no_spec no_opt no_chain
         match Config.validate cfg with
         | Error msg -> `Error (false, "invalid configuration: " ^ msg)
         | Ok () -> (
-          let plan = fault_plan cfg ~faults ~seed:fault_seed ~classes in
+          let plan =
+            fault_plan cfg ~faults ~seed:fault_seed ~classes
+              ~unrecoverable:fault_unrecoverable
+          in
           match bench with
           | Some name -> (
+            let run display load =
+              match
+                run_one ?trace_file ~trace_buckets ?checkpoint
+                  ~checkpoint_every ?halt_at cfg show_stats plan display load
+              with
+              | code -> `Ok code
+              (* A stale or foreign snapshot is a usage error, not a
+                 crash: Snapshot.load raises Failure on a corrupt file and
+                 Vm.run raises Invalid_argument on a fingerprint that does
+                 not match this program + configuration + fault plan. *)
+              | exception Failure msg -> `Error (false, msg)
+              | exception Invalid_argument msg -> `Error (false, msg)
+            in
             match Suite.find name with
-            | b ->
-              run_one ?trace_file ~trace_buckets cfg show_stats plan
-                b.Suite.name
-                (fun () -> Suite.load b);
-              `Ok ()
+            | b -> run b.Suite.name (fun () -> Suite.load b)
             | exception Not_found -> (
               (* Not a suite benchmark: try it as a guest-image path. *)
               if not (Sys.file_exists name) then
@@ -162,10 +249,8 @@ let main list_benches bench base translators banks l15 no_spec no_opt no_chain
               else
                 match Vat_guest.Image.load name with
                 | img ->
-                  run_one ?trace_file ~trace_buckets cfg show_stats plan
-                    (Filename.basename name)
-                    (fun () -> Vat_guest.Image.to_program img);
-                  `Ok ()
+                  run (Filename.basename name) (fun () ->
+                      Vat_guest.Image.to_program img)
                 | exception Vat_guest.Image.Bad_image msg ->
                   `Error (false, "bad guest image " ^ name ^ ": " ^ msg)
                 | exception Sys_error msg -> `Error (false, msg)))
@@ -181,7 +266,10 @@ let main list_benches bench base translators banks l15 no_spec no_opt no_chain
             Array.iteri
               (fun i r -> print_one show_stats benches.(i).Suite.name r)
               results;
-            `Ok ())))
+            `Ok
+              (Array.fold_left
+                 (fun acc (_, rv) -> max acc (outcome_code rv))
+                 0 results))))
 
 let cmd =
   let list_flag =
@@ -265,6 +353,45 @@ let cmd =
              duplicate; or a preset: legacy (the first three, the default), \
              corruption (the last three), all.")
   in
+  let fault_unrecoverable =
+    Arg.(
+      value & flag
+      & info [ "fault-unrecoverable" ]
+          ~doc:
+            "Let --faults also draw previously-terminal faults (execution, \
+             manager and MMU tile fail-stops, dirty-L2D storage loss). \
+             Without --checkpoint such a fault aborts the run; with it, the \
+             run rolls back to the last checkpoint, quarantines the failed \
+             site, and continues.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint the run every --checkpoint-every cycles and arm \
+             rollback-recovery. If $(docv) exists it is loaded and the run \
+             resumes from it (the snapshot fingerprint must match the \
+             program, configuration, and fault plan); on completion the \
+             file is removed. Single-benchmark runs only.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 100_000
+      & info [ "checkpoint-every" ] ~docv:"CYCLES"
+          ~doc:"Cycles between checkpoints (default 100000).")
+  in
+  let halt_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "halt-at" ] ~docv:"CYCLE"
+          ~doc:
+            "Stop at the first checkpoint at or after $(docv) simulated \
+             cycles, save it to the --checkpoint file, and exit with code \
+             3. Re-running the same command resumes from it.")
+  in
   let trace_file =
     Arg.(
       value
@@ -301,7 +428,8 @@ let cmd =
       ret
         (const main $ list_flag $ bench $ base $ translators $ banks $ l15
         $ no_spec $ no_opt $ no_chain $ morph $ stats $ faults $ fault_seed
-        $ fault_kinds $ trace_file $ trace_buckets $ jobs))
+        $ fault_kinds $ fault_unrecoverable $ checkpoint $ checkpoint_every
+        $ halt_at $ trace_file $ trace_buckets $ jobs))
   in
   Cmd.v
     (Cmd.info "vat_run" ~version:"1.0"
@@ -311,19 +439,23 @@ let cmd =
     term
 
 (* Any stray exception (unreadable file, corrupt image, internal limit)
-   becomes a one-line diagnostic, never a backtrace. *)
+   becomes a one-line diagnostic and exit 125, never a backtrace. Usage
+   and argument errors exit 124 (cmdliner's convention); simulation exit
+   codes (0 / 2 / 3) come from [main]. *)
 let () =
-  match Cmd.eval ~catch:false cmd with
-  | code -> exit code
+  match Cmd.eval_value ~catch:false cmd with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Help | `Version) -> exit 0
+  | Error _ -> exit 124
   | exception Failure msg ->
     Printf.eprintf "vat_run: %s\n" msg;
-    exit 1
+    exit 125
   | exception Sys_error msg ->
     Printf.eprintf "vat_run: %s\n" msg;
-    exit 1
+    exit 125
   | exception Invalid_argument msg ->
     Printf.eprintf "vat_run: %s\n" msg;
-    exit 1
+    exit 125
   | exception Vat_guest.Image.Bad_image msg ->
     Printf.eprintf "vat_run: bad guest image: %s\n" msg;
-    exit 1
+    exit 125

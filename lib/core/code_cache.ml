@@ -20,6 +20,17 @@ let pick_victim table salt =
     table None
   |> Option.map snd
 
+(* Checkpoint digests must not depend on hashtable iteration order (it
+   varies with insertion history even for equal contents), so per-entry
+   hashes are combined with addition — commutative — before the scalar
+   fields are mixed in order-dependently. *)
+let entry_mix a b c =
+  (((a * 0x100000001b3) + b + 1) * 0x100000001b3 + c + 1) land max_int
+
+let table_digest table hash_entry =
+  Hashtbl.fold (fun addr e acc -> (acc + hash_entry addr e) land max_int)
+    table 0
+
 module L1 = struct
   type entry = {
     block : Block.t;
@@ -75,6 +86,17 @@ module L1 = struct
   let used_bytes t = t.used
   let flushes t = t.flushes
   let installs t = t.installs
+
+  let state_digest t =
+    let chains e =
+      (match e.chain_taken with Some _ -> 2 | None -> 0)
+      + match e.chain_fall with Some _ -> 1 | None -> 0
+    in
+    let resident =
+      table_digest t.table (fun addr e ->
+          entry_mix addr e.stored_sum (chains e))
+    in
+    entry_mix resident t.used (entry_mix t.flushes t.installs 0)
 end
 
 module L15 = struct
@@ -167,6 +189,13 @@ module L15 = struct
 
   let hits t = t.hits
   let misses t = t.misses
+
+  let state_digest t =
+    let resident =
+      table_digest t.table (fun addr s ->
+          entry_mix addr s.stored_sum s.last_use)
+    in
+    entry_mix resident t.used (entry_mix t.tick (entry_mix t.hits t.misses 0) 0)
 end
 
 module L2 = struct
@@ -246,4 +275,12 @@ module L2 = struct
       t.table;
     List.iter (remove t) !doomed;
     List.length !doomed
+
+  let state_digest t =
+    let resident =
+      table_digest t.table (fun addr (c : cell) ->
+          entry_mix addr c.stored_sum 0)
+    in
+    let pages = table_digest t.pages (fun page n -> entry_mix page n 0) in
+    entry_mix resident pages t.used
 end

@@ -47,6 +47,10 @@ module L1 : sig
   val used_bytes : t -> int
   val flushes : t -> int
   val installs : t -> int
+
+  val state_digest : t -> int
+  (** Iteration-order-independent hash of residencies (address, stored
+      sum, chain shape) and counters — the L1 checkpoint ingredient. *)
 end
 
 module L15 : sig
@@ -68,6 +72,9 @@ module L15 : sig
   val drop_page : t -> int -> unit
   val hits : t -> int
   val misses : t -> int
+
+  val state_digest : t -> int
+  (** As {!L1.state_digest}, over residencies + LRU stamps + counters. *)
 end
 
 module L2 : sig
@@ -91,4 +98,7 @@ module L2 : sig
 
   val invalidate_page : t -> page:int -> int
   (** Drop all blocks overlapping the page; returns how many. *)
+
+  val state_digest : t -> int
+  (** As {!L1.state_digest}, over residencies + the page registry. *)
 end

@@ -648,6 +648,51 @@ and wake t =
 
 let corrupt_l1code t ~salt = Code_cache.L1.corrupt_one t.l1 ~salt
 
+(* Checkpoint section: the complete guest-visible architectural state
+   plus the engine's own scheduling state. Big arrays (guest memory,
+   scratch spill area) enter as digests; everything small enough to read
+   back by eye is encoded directly. Pure observation. *)
+let capture t =
+  let w = Vat_snapshot.Snapshot.Wr.create () in
+  let module Wr = Vat_snapshot.Snapshot.Wr in
+  Wr.int_array w t.regs;
+  Wr.int w
+    (Array.fold_left
+       (fun acc v -> ((acc * 0x100000001b3) + v + 1) land max_int)
+       0x1505 t.scratch);
+  Wr.int_array w t.ready_at;
+  Wr.int w t.pending_mask;
+  Wr.int w t.t_local;
+  Wr.int w t.outstanding;
+  Wr.int w
+    (match t.entry with
+     | Some e -> e.Code_cache.L1.block.Block.guest_addr
+     | None -> -1);
+  Wr.int w t.pc;
+  (match t.wait with
+   | Running -> Wr.int_list w [ 0; 0; 0 ]
+   | Wait_reg (r, pc) -> Wr.int_list w [ 1; r; pc ]
+   | Wait_capacity pc -> Wr.int_list w [ 2; pc; 0 ]
+   | Wait_fill -> Wr.int_list w [ 3; 0; 0 ]
+   | Wait_syscall -> Wr.int_list w [ 4; 0; 0 ]
+   | Finished -> Wr.int_list w [ 5; 0; 0 ]);
+  Wr.int w t.fuel;
+  Wr.int w t.guest_insns;
+  Wr.int w
+    (match t.outcome with
+     | None -> 0
+     | Some (Exited n) -> 16 + n
+     | Some (Fault _) -> 2
+     | Some Out_of_fuel -> 3);
+  Wr.int w (Mem.checksum t.prog.Program.mem);
+  Wr.string w (output t);
+  Wr.int w (Syscall.brk_value t.world);
+  Wr.int w (Syscall.input_pos t.world);
+  Wr.int w (Code_cache.L1.state_digest t.l1);
+  Wr.int w (Cache.state_digest t.l1d);
+  Wr.int_list w (Service.capture t.syscall_svc);
+  Wr.contents w
+
 let start t ~fuel ~on_finish =
   t.fuel <- fuel;
   t.on_finish <- on_finish;

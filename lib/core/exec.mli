@@ -65,3 +65,9 @@ val output : t -> string
 val guest_reg : t -> Insn.reg -> int
 val digest : t -> int
 (** Comparable with {!Vat_guest.Interp.digest} / {!Xrun.digest}. *)
+
+val capture : t -> string
+(** Checkpoint section payload: registers, memory/scratch digests,
+    scoreboard and wait state, fuel, retirement count, OS-world state,
+    L1 code/data digests, syscall-service scalars. Pure observation —
+    capturing never perturbs timing. *)

@@ -31,5 +31,7 @@ let parse_classes s =
       in
       collect [] parts
 
-let plan ?(horizon = 400_000) ?classes cfg ~seed ~count =
-  Fault.random ~seed ~horizon ~menu:(Vm.fault_menu ?classes cfg) ~count
+let plan ?(horizon = 400_000) ?recoverable_only ?classes cfg ~seed ~count =
+  Fault.random ~seed ~horizon
+    ~menu:(Vm.fault_menu ?recoverable_only ?classes cfg)
+    ~count

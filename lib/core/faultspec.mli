@@ -15,6 +15,7 @@ val parse_classes :
 
 val plan :
   ?horizon:int ->
+  ?recoverable_only:bool ->
   ?classes:Vat_desim.Fault.kind_class list ->
   Config.t ->
   seed:int ->
@@ -22,7 +23,10 @@ val plan :
   Vat_desim.Fault.plan
 (** Draw [count] faults from the configuration's menu (filtered to
     [classes], default {!Vat_desim.Fault.legacy_classes}) over the first
-    [horizon] cycles (default 400_000). The underlying stream is
-    prefix-stable: the same seed with a larger count extends the plan
-    rather than reshuffling it, and [count = 0] yields a plan
+    [horizon] cycles (default 400_000). With [recoverable_only:false]
+    (default [true], passed through to [Vm.fault_menu]) the menu also
+    offers the previously-terminal exec/manager/MMU fail-stops — the
+    inputs a checkpointed run survives by rollback. The underlying
+    stream is prefix-stable: the same seed with a larger count extends
+    the plan rather than reshuffling it, and [count = 0] yields a plan
     indistinguishable from {!Vat_desim.Fault.empty}. *)

@@ -618,7 +618,13 @@ let retire_slave t i ~stat =
   end
 
 let fail_translator t i = retire_slave t i ~stat:"fault.translator_evictions"
-let quarantine_slave t i = retire_slave t i ~stat:"corrupt.quarantined_slaves"
+
+(* Policy monitors never retire the last usable slave: with zero slaves
+   every fill degrades to the manager's demand-translate path forever,
+   which is strictly worse than tolerating a noisy tile. An actual
+   fail-stop fault ([fail_translator]) is still allowed to take it. *)
+let quarantine_slave t i =
+  if usable_slaves t > 1 then retire_slave t i ~stat:"corrupt.quarantined_slaves"
 
 let slow_translator t i ~factor ~cycles =
   if i < 0 || i >= Array.length t.slaves then
@@ -679,3 +685,44 @@ let corrupted_messages t =
 let duplicated_messages t =
   Service.duplicated (mgr t)
   + Array.fold_left (fun acc s -> acc + Service.duplicated s) 0 t.l15_services
+
+(* Checkpoint section: slave states, code-cache digests, speculation
+   state, install-ack protocol state, and every service's scalars. The
+   waiters/unacked/acked hashtables are digested commutatively (their
+   iteration order is insertion-history-dependent). Pure observation. *)
+let capture t =
+  let w = Vat_snapshot.Snapshot.Wr.create () in
+  let module Wr = Vat_snapshot.Snapshot.Wr in
+  let mix2 a b = (((a * 0x100000001b3) + b + 1) * 0x100000001b3) land max_int in
+  Array.iter
+    (fun s ->
+      Wr.bool w s.busy;
+      Wr.bool w s.active;
+      Wr.bool w s.failed;
+      Wr.int w (Option.value ~default:(-1) s.current);
+      Wr.int w s.slow_factor;
+      Wr.int w s.slow_until)
+    t.slaves;
+  Wr.int_array w t.slave_corruptions;
+  Wr.int_array w t.l15_corruptions;
+  Wr.int w t.next_seq;
+  Wr.int_array w t.l15_alive;
+  Wr.int w (Hashtbl.length t.waiters);
+  Wr.int w
+    (Hashtbl.fold
+       (fun addr replies acc -> (acc + mix2 addr (List.length replies)) land max_int)
+       t.waiters 0);
+  Wr.int w (Hashtbl.length t.unacked);
+  Wr.int w
+    (Hashtbl.fold
+       (fun seq p acc -> (acc + mix2 seq (mix2 p.p_slave p.p_addr)) land max_int)
+       t.unacked 0);
+  Wr.int w (Hashtbl.length t.acked);
+  Wr.int w (Hashtbl.fold (fun seq () acc -> (acc + mix2 seq 1) land max_int) t.acked 0);
+  Wr.int w (Spec.state_digest t.spec);
+  Wr.int w (Code_cache.L2.state_digest t.l2);
+  Array.iter (fun b -> Wr.int w (Code_cache.L15.state_digest b)) t.l15_banks;
+  Wr.int w (List.length t.drain_waiters);
+  Wr.int_list w (Service.capture (mgr t));
+  Array.iter (fun s -> Wr.int_list w (Service.capture s)) t.l15_services;
+  Wr.contents w

@@ -133,7 +133,9 @@ val corrupt_l2code : t -> salt:int -> bool
 
 val quarantine_slave : t -> int -> unit
 (** Retire a slave whose deliveries keep failing verification — same
-    mechanics as {!fail_translator}, separate accounting. *)
+    mechanics as {!fail_translator}, separate accounting. Refuses to
+    retire the last usable slave (a policy monitor must not reduce the
+    machine to demand-translation forever; a real fail-stop still can). *)
 
 val quarantine_l15 : t -> int -> unit
 
@@ -150,3 +152,8 @@ val corrupted_messages : t -> int
 (** Messages garbled in flight across the manager and L1.5 services. *)
 
 val duplicated_messages : t -> int
+
+val capture : t -> string
+(** Checkpoint section payload: slave states, code-cache digests,
+    speculation-queue digest, install-ack protocol state, service
+    scalars. Pure observation — capturing never perturbs timing. *)

@@ -33,7 +33,7 @@ type t = {
   mutable mmu : mmu_req Service.t option;
   mutable bank_services : bank_req Service.t array;
   mutable reconfiguring : bool;
-  mutable on_fatal : (string -> unit) option;
+  mutable on_fatal : (bank:int -> string -> unit) option;
   pr : probes;
 }
 
@@ -149,7 +149,7 @@ let make_bank_service t idx =
       ( occupancy,
         fun () ->
           (match fatal with
-           | Some msg -> (match t.on_fatal with Some f -> f msg | None -> ())
+           | Some msg -> (match t.on_fatal with Some f -> f ~bank msg | None -> ())
            | None -> ());
           Event_queue.after t.q ~delay:reply_latency bon_done ))
 
@@ -350,16 +350,26 @@ let retire_bank t i ~stat =
   end
 
 let fail_bank t i = retire_bank t i ~stat:"fault.l2d_bank_failures"
-let quarantine_bank t i = retire_bank t i ~stat:"corrupt.quarantined_banks"
+
+(* The corruption-rate monitor must never retire the last working bank: a
+   machine with zero banks still runs (uncached DRAM), but losing the
+   final bank to a *policy* decision — rather than an actual fault — is
+   self-inflicted damage. Rollback-recovery uses the unguarded entry
+   below instead: there the bank provably holds poisoned dirty data, and
+   running uncached beats replaying into the same loss forever. *)
+let quarantine_bank t i =
+  if alive_count t > 1 then retire_bank t i ~stat:"corrupt.quarantined_banks"
+
+let recovery_retire_bank t i = retire_bank t i ~stat:"recovery.quarantined_banks"
 
 let alive_banks t = alive_count t
 let bank_alive t i = i >= 0 && i < max_banks && t.alive.(i)
 
 let set_fatal_handler t f = t.on_fatal <- Some f
 
-let corrupt_bank t i ~salt ~allow_dirty =
+let corrupt_bank ?prefer_dirty t i ~salt ~allow_dirty =
   if i < 0 || i >= max_banks then invalid_arg "Memsys.corrupt_bank";
-  Cache.corrupt_line t.banks.(i) ~salt ~allow_dirty
+  Cache.corrupt_line ?prefer_dirty t.banks.(i) ~salt ~allow_dirty
 
 let bank_corruptions t = Array.copy t.bank_corruptions
 
@@ -405,3 +415,23 @@ let bank_max_queue t =
 
 let tlb_hits t = t.tlb_hits
 let tlb_misses t = t.tlb_misses
+
+(* Checkpoint section: TLB arrays, banking geometry, per-bank cache
+   digests and service scalars. Pure observation. *)
+let capture t =
+  let w = Vat_snapshot.Snapshot.Wr.create () in
+  let module Wr = Vat_snapshot.Snapshot.Wr in
+  Wr.int_array w t.tlb_tags;
+  Wr.int_array w t.tlb_lru;
+  Wr.int w t.tlb_tick;
+  Wr.int w t.tlb_hits;
+  Wr.int w t.tlb_misses;
+  Wr.int w t.n_banks;
+  Wr.int_array w t.bank_map;
+  Array.iter (Wr.bool w) t.alive;
+  Wr.int_array w t.bank_corruptions;
+  Array.iter (fun c -> Wr.int w (Cache.state_digest c)) t.banks;
+  Wr.bool w t.reconfiguring;
+  Wr.int_list w (Service.capture (the_mmu t));
+  Array.iter (fun s -> Wr.int_list w (Service.capture s)) t.bank_services;
+  Wr.contents w

@@ -63,17 +63,28 @@ val mmu_slow : t -> factor:int -> cycles:int -> unit
     fatal handler fires — the run ends in a clean fault, never a silent
     wrong value. *)
 
-val set_fatal_handler : t -> (string -> unit) -> unit
-(** Called on an uncorrectable parity error (typically {!Exec.abort}). *)
+val set_fatal_handler : t -> (bank:int -> string -> unit) -> unit
+(** Called on an uncorrectable parity error with the offending physical
+    bank (typically {!Exec.abort}; a rollback-armed VM instead records
+    the bank as the quarantine target for the next recovery attempt). *)
 
 val corrupt_bank :
+  ?prefer_dirty:bool ->
   t -> int -> salt:int -> allow_dirty:bool -> [ `Clean | `Dirty | `Absorbed ]
 (** Flip bits in a resident line of physical bank [i] (see
     {!Vat_tiled.Cache.corrupt_line}). *)
 
 val quarantine_bank : t -> int -> unit
 (** Retire a bank whose parity-error rate crossed the quarantine
-    threshold — same mechanics as {!fail_bank}, separate accounting. *)
+    threshold — same mechanics as {!fail_bank}, separate accounting.
+    Refuses to retire the last alive bank (a policy monitor must not
+    finish off the machine; an actual fault still can). *)
+
+val recovery_retire_bank : t -> int -> unit
+(** Unguarded retirement used by rollback-recovery when a bank holds
+    provably poisoned dirty data: even the last bank goes (the MMU then
+    serves uncached from DRAM), counted under
+    ["recovery.quarantined_banks"]. *)
 
 val bank_corruptions : t -> int array
 (** Detected parity events per physical bank (what the quarantine monitor
@@ -109,3 +120,8 @@ val recovery_code_names : (int * string) list
 
 val tlb_hits : t -> int
 val tlb_misses : t -> int
+
+val capture : t -> string
+(** Checkpoint section payload: TLB contents, banking geometry, per-bank
+    cache digests, and every service's mutable scalars. Pure
+    observation — capturing never perturbs timing. *)

@@ -64,6 +64,9 @@ let quarantined_tiles r =
 
 let silent_corruptions r = get r "corrupt.silent"
 
+let recoveries r = get r "recovery.rollbacks"
+let replayed_cycles r = get r "recovery.replayed_cycles"
+
 let summary r =
   let base =
     [ ("l2code_accesses_per_cycle", l2_code_accesses_per_cycle r);
@@ -102,6 +105,12 @@ let summary r =
         ("corruptions_corrected", float_of_int (corruptions_corrected r));
         ("quarantined_tiles", float_of_int (quarantined_tiles r));
         ("silent_corruptions", float_of_int (silent_corruptions r)) ]
+    (* Rollback-recovery rows only when a rollback actually happened, so
+       fault runs predating checkpointing keep an identical summary. *)
+    @ List.filter
+        (fun (_, v) -> v > 0.)
+        [ ("recoveries", float_of_int (recoveries r));
+          ("replayed_cycles", float_of_int (replayed_cycles r)) ]
 
 let pp_result ppf (r : Vm.result) =
   Format.fprintf ppf "cycles %d, guest insns %d@." r.cycles r.guest_insns;

@@ -68,10 +68,20 @@ val silent_corruptions : Vm.result -> int
 (** Corrupt blocks executed unnoticed. The integrity invariant is that
     this is identically zero whenever fault tolerance is armed. *)
 
+val recoveries : Vm.result -> int
+(** Rollback-recoveries performed: previously-terminal faults survived by
+    restoring a checkpoint and quarantining the failed bank or tile
+    (see [Vm.run]'s [checkpoint_every]). Zero unless a rollback happened. *)
+
+val replayed_cycles : Vm.result -> int
+(** Total cycles re-simulated by those rollbacks (the recovery cost the
+    paper's slowdown metric would charge). *)
+
 val summary : Vm.result -> (string * float) list
 (** Everything above, for printing; queue high-water marks appear only
-    when observed (non-zero), and fault and corruption counters only when
-    a fault was actually injected. *)
+    when observed (non-zero), fault and corruption counters only when a
+    fault was actually injected, and recovery rows only when a rollback
+    actually happened. *)
 
 val get : Vm.result -> string -> int
 (** Raw counter access. *)

@@ -131,3 +131,5 @@ let create ?(trace = Tr.disabled) q stats cfg manager memsys =
   t
 
 let morphs t = t.count
+
+let capture t = [ (if t.morphing then 1 else 0); t.last_morph; t.count ]

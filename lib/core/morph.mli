@@ -27,3 +27,7 @@ val create :
     tile is treated as a dead one). *)
 
 val morphs : t -> int
+
+val capture : t -> int list
+(** The monitor's mutable scalars (morphing flag, last-morph cycle, morph
+    count) for checkpointing. *)

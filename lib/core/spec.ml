@@ -138,3 +138,30 @@ let queue_length t =
     (fun _ s -> match s with Queued _ -> incr n | In_flight | Done -> ())
     t.status;
   !n
+
+(* Checkpoint digest: the hashtables are combined commutatively (their
+   iteration order depends on insertion history), the queues in FIFO
+   order (that order is observable via [pop]). *)
+let state_digest t =
+  let mix2 a b = (((a * 0x100000001b3) + b + 1) * 0x100000001b3) land max_int in
+  let status_code = function
+    | Queued p -> 16 + p
+    | In_flight -> 1
+    | Done -> 2
+  in
+  let statuses =
+    Hashtbl.fold
+      (fun addr s acc -> (acc + mix2 addr (status_code s)) land max_int)
+      t.status 0
+  in
+  let depths =
+    Hashtbl.fold
+      (fun addr d acc -> (acc + mix2 addr d) land max_int)
+      t.depth 0
+  in
+  let queues =
+    Array.fold_left
+      (fun acc q -> Queue.fold (fun acc addr -> mix2 acc addr) (mix2 acc 7) q)
+      0 t.queues
+  in
+  mix2 (mix2 statuses depths) (mix2 queues t.queued_count)

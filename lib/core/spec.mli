@@ -50,3 +50,8 @@ val pop : t -> int option
 
 val queue_length : t -> int
 (** Blocks waiting to be translated (the morphing trigger metric). *)
+
+val state_digest : t -> int
+(** Iteration-order-independent hash of the whole speculation state
+    (status + depth tables, queue contents in FIFO order) — a checkpoint
+    ingredient. *)

@@ -2,6 +2,7 @@ open Vat_desim
 open Vat_guest
 open Vat_tiled
 module Tr = Vat_trace.Trace
+module Snap = Vat_snapshot.Snapshot
 
 type result = {
   outcome : Exec.outcome;
@@ -19,6 +20,38 @@ type instance = {
   i_layout : Layout.t;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Rollback-recovery bookkeeping                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One previously-terminal fault survived by rollback: the cycle it fired
+   at, the site it hit, the fault kind (so exactly that event — and no
+   other — is masked on replay), and the checkpoint cycle the recovery
+   replayed from. The ledger of these entries travels inside every
+   snapshot, which is what makes a resumed run converge on the same
+   recovery decisions as the uninterrupted one. *)
+type ledger_entry = {
+  le_at : int;
+  le_role : string;
+  le_index : int;
+  le_kind : string; (* "" for a parity loss detected at the bank *)
+  le_restore : int;
+}
+
+type terminal = { t_at : int; t_role : string; t_index : int; t_kind : string }
+
+(* Armed (non-None) when the run can roll back: terminal faults are
+   recorded here instead of aborting the guest. *)
+type rb_ctx = { mutable rb_terminal : terminal option }
+
+(* Roles whose fail-stop is handled by masking the event on replay (the
+   virtual architecture re-places the role; the original event becomes a
+   non-event). An L2D parity loss is deliberately absent: quarantining
+   the bank at the restore point flushes the poisoned line, so the
+   re-injected storage corruption lands on dead (or refilled-clean)
+   silicon and needs no masking. *)
+let critical_roles = [ "manager"; "mmu"; "exec"; "syscall" ]
+
 let create ?input ?memo ?trace q stats cfg prog =
   let layout = Layout.create (Grid.create ()) in
   let manager =
@@ -35,7 +68,7 @@ let create ?input ?memo ?trace q stats cfg prog =
   (* An uncorrectable parity error (corrupt dirty L2D line: the only copy
      of the data is gone) must end the run as a clean fault, never return
      a silent wrong value. *)
-  Memsys.set_fatal_handler memsys (fun msg ->
+  Memsys.set_fatal_handler memsys (fun ~bank:_ msg ->
       Stats.incr stats "corrupt.uncorrectable_aborts";
       Exec.abort exec msg);
   { i_manager = manager; i_exec = exec; i_memsys = memsys; i_layout = layout }
@@ -92,7 +125,7 @@ let fault_menu ?(recoverable_only = true) ?(classes = Fault.legacy_classes) cfg 
   end;
   Array.of_list (List.rev !menu)
 
-let apply_fault t stats (e : Fault.event) =
+let apply_fault ?rb t stats (e : Fault.event) =
   let m = t.i_manager and ms = t.i_memsys and x = t.i_exec in
   let grid = Layout.grid t.i_layout in
   let idx = e.site.index in
@@ -106,8 +139,18 @@ let apply_fault t stats (e : Fault.event) =
    | Fault.C_fail_stop | Fault.C_drop | Fault.C_slow -> ());
   let absorbed () = Stats.incr stats "corrupt.absorbed" in
   let unrecoverable what =
-    Stats.incr stats "fault.unrecoverable";
-    Exec.abort x (Printf.sprintf "unrecoverable fault: %s tile failed" what)
+    match rb with
+    | Some ctx ->
+      (* Rollback armed: record the terminal site; the drive loop stops
+         this attempt and replays from the last checkpoint with the event
+         masked and the tile quarantined. *)
+      if ctx.rb_terminal = None then
+        ctx.rb_terminal <-
+          Some { t_at = e.at; t_role = e.site.role; t_index = idx;
+                 t_kind = Fault.kind_to_string e.kind }
+    | None ->
+      Stats.incr stats "fault.unrecoverable";
+      Exec.abort x (Printf.sprintf "unrecoverable fault: %s tile failed" what)
   in
   match (e.site.role, e.kind) with
   | "translator", Fault.Fail_stop ->
@@ -144,10 +187,15 @@ let apply_fault t stats (e : Fault.event) =
   | "l2d", Fault.Corrupt_payload n -> Memsys.bank_corrupt_next ms idx n
   | "l2d", Fault.Duplicate_delivery n -> Memsys.bank_duplicate_next ms idx n
   | "l2d", Fault.Corrupt_storage -> begin
-    (* Only clean lines: corrupting the sole copy of dirty data is an
-       unrecoverable fault, which the random recoverable menu must never
-       produce (the parity unit tests exercise that path directly). *)
-    match Memsys.corrupt_bank ms idx ~salt ~allow_dirty:false with
+    (* Without rollback, only clean lines: corrupting the sole copy of
+       dirty data is an unrecoverable fault, which the random recoverable
+       menu must never produce (the parity unit tests exercise that path
+       directly). With rollback armed the dirty-loss path is survivable —
+       and is deliberately preferred, so recovery actually gets
+       exercised. *)
+    let dirty_ok = rb <> None in
+    match Memsys.corrupt_bank ms idx ~salt ~allow_dirty:dirty_ok
+            ~prefer_dirty:dirty_ok with
     | `Clean | `Dirty -> ()
     | `Absorbed -> absorbed ()
   end
@@ -180,13 +228,21 @@ let fault_class_code k =
   | Fault.C_corrupt_storage -> 4
   | Fault.C_duplicate -> 5
 
-let schedule_faults ?(fault_emit = Tr.null_emitter) inst stats q plan =
+let schedule_faults ?(fault_emit = Tr.null_emitter) ?rb
+    ?(masked = fun (_ : Fault.event) -> false) inst stats q plan =
   List.iter
     (fun (e : Fault.event) ->
       Event_queue.schedule q ~at:e.at (fun () ->
           if not (Exec.finished inst.i_exec) then begin
             Tr.emit fault_emit ~cycle:e.at ~arg:(fault_class_code e.kind);
-            apply_fault inst stats e
+            if masked e then begin
+              (* A terminal fault already survived by a rollback: the
+                 particle still hits, but the role has been re-placed
+                 away from the quarantined tile, so nothing dies. *)
+              Stats.incr stats "fault.injected";
+              Stats.incr stats "recovery.masked_faults"
+            end
+            else apply_fault ?rb inst stats e
           end))
     (Fault.events plan)
 
@@ -218,89 +274,379 @@ let start_watchdog exec stats q ~stall_cycles =
   in
   Event_queue.after q ~delay:interval watch
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / rollback-recovery                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Binds a snapshot to one specific run: same configuration, program
+   image, input, limits and fault plan, or restore refuses up front
+   (replaying someone else's checkpoint can only produce garbage). *)
+let fingerprint ~input ~fuel ~max_cycles cfg (prog : Program.t) plan =
+  let h = ref 0x811c9dc5 in
+  let add v = h := (((!h lxor v) * 0x100000001b3) + 1) land max_int in
+  add (Snap.crc32 (Marshal.to_string cfg []));
+  add (Mem.checksum prog.mem);
+  add prog.entry;
+  add prog.initial_esp;
+  add prog.brk0;
+  Array.iter add prog.page_table;
+  add (Snap.crc32 input);
+  add fuel;
+  add max_cycles;
+  add (Fault.seed plan);
+  add
+    (Snap.crc32
+       (String.concat ";" (List.map Fault.event_to_string (Fault.events plan))));
+  !h
+
+let encode_ledger ledger =
+  let b = Snap.Wr.create () in
+  Snap.Wr.int b (List.length ledger);
+  List.iter
+    (fun le ->
+      Snap.Wr.int b le.le_at;
+      Snap.Wr.string b le.le_role;
+      Snap.Wr.int b le.le_index;
+      Snap.Wr.string b le.le_kind;
+      Snap.Wr.int b le.le_restore)
+    ledger;
+  Snap.Wr.contents b
+
+let decode_ledger s =
+  let r = Snap.Rd.of_string s in
+  let n = Snap.Rd.int r in
+  let rec go k acc =
+    if k = 0 then List.rev acc
+    else begin
+      let le_at = Snap.Rd.int r in
+      let le_role = Snap.Rd.string r in
+      let le_index = Snap.Rd.int r in
+      let le_kind = Snap.Rd.string r in
+      let le_restore = Snap.Rd.int r in
+      go (k - 1) ({ le_at; le_role; le_index; le_kind; le_restore } :: acc)
+    end
+  in
+  go n []
+
 let run ?input ?memo ?(fuel = 50_000_000) ?(max_cycles = 2_000_000_000)
-    ?(faults = Fault.empty) ?(trace = Tr.disabled) cfg prog =
+    ?(faults = Fault.empty) ?(trace = Tr.disabled) ?checkpoint_every
+    ?on_checkpoint ?restore_from ?(max_rollbacks = 64) cfg prog =
   (match Config.validate cfg with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Vm.run: " ^ msg));
+  (match checkpoint_every with
+   | Some n when n <= 0 -> invalid_arg "Vm.run: checkpoint_every must be positive"
+   | _ -> ());
   let cfg =
     if Fault.is_empty faults || cfg.Config.fault_tolerance then cfg
     else { cfg with Config.fault_tolerance = true }
   in
-  let q = Event_queue.create () in
-  let stats = Stats.create () in
-  let inst = create ?input ?memo ~trace q stats cfg prog in
-  let manager = inst.i_manager in
-  let memsys = inst.i_memsys in
-  let exec = inst.i_exec in
-  let morph = Morph.create ~trace q stats cfg manager memsys in
-  if Tr.enabled trace then begin
-    (* Decimated queue-depth sampler. It observes from the event-queue
-       probe and schedules nothing, so the traced run replays the exact
-       event sequence of the untraced one. *)
-    let interval = max 1 cfg.Config.sample_interval in
-    let gauge name =
-      Tr.emitter trace ~track:(Tr.track trace name) Tr.Queue_depth
+  let fp =
+    fingerprint ~input:(Option.value input ~default:"") ~fuel ~max_cycles cfg
+      prog faults
+  in
+  (match restore_from with
+   | Some s when Snap.fingerprint s <> fp ->
+     invalid_arg
+       "Vm.run: snapshot fingerprint mismatch (different configuration, \
+        program, input, limits or fault plan)"
+   | _ -> ());
+  (* Restore ignores the caller's interval: the replayed checkpoint chain
+     must land on exactly the cycles the original run checkpointed at. *)
+  let interval =
+    match restore_from with
+    | Some s -> Some (Snap.interval s)
+    | None -> checkpoint_every
+  in
+  let init_ledger =
+    match restore_from with
+    | Some s ->
+      (match Snap.find s "recovery" with
+       | Some payload -> decode_ledger payload
+       | None -> [])
+    | None -> []
+  in
+  (* One simulation attempt under a fixed recovery ledger: every ledgered
+     terminal is masked (critical roles) or defanged by its quarantine
+     (L2D banks), applied at the entry's restore cycle. Returns [`Done]
+     or [`Terminal] with the restore point for the next attempt and a
+     give-up closure that finalizes with the legacy fatal outcome. *)
+  let attempt ~ledger =
+    let q = Event_queue.create () in
+    let stats = Stats.create () in
+    (* Each attempt runs against a pristine program image. Guest stores
+       mutate the image in place, so replaying an abandoned attempt's
+       program from cycle 0 would read its leftover writes and diverge. *)
+    let inst = create ?input ?memo ~trace q stats cfg (Program.clone prog) in
+    let manager = inst.i_manager in
+    let memsys = inst.i_memsys in
+    let exec = inst.i_exec in
+    let rb =
+      match interval with
+      | Some _ -> Some { rb_terminal = None }
+      | None -> None
     in
-    let d_trans = gauge "translate-queue" in
-    let d_mgr = gauge "mgr-queue" in
-    let d_l2d = gauge "l2d-queue" in
-    let d_events = gauge "events" in
-    let next = ref 0 in
-    Event_queue.set_probe q (fun ~now ~pending ->
-        if now >= !next then begin
-          next := now + interval;
-          Tr.emit d_trans ~cycle:now ~arg:(Manager.queue_length manager);
-          Tr.emit d_mgr ~cycle:now ~arg:(Manager.mgr_queue_length manager);
-          Tr.emit d_l2d ~cycle:now ~arg:(Memsys.bank_queue_total memsys);
-          Tr.emit d_events ~cycle:now ~arg:pending
-        end)
-  end;
-  let fault_emit =
-    Tr.emitter trace ~track:(Tr.track trace "faults") Tr.Fault_inject
+    (match rb with
+     | Some ctx ->
+       (* With rollback armed, losing the only copy of a dirty L2D line is
+          survivable: record the terminal instead of aborting; the driver
+          restores the last checkpoint with the bank quarantined. *)
+       Memsys.set_fatal_handler memsys (fun ~bank _msg ->
+           if ctx.rb_terminal = None then
+             ctx.rb_terminal <-
+               Some { t_at = Event_queue.now q; t_role = "l2d"; t_index = bank;
+                      t_kind = "" })
+     | None -> ());
+    let morph = Morph.create ~trace q stats cfg manager memsys in
+    if Tr.enabled trace then begin
+      (* Decimated queue-depth sampler. It observes from the event-queue
+         probe and schedules nothing, so the traced run replays the exact
+         event sequence of the untraced one. *)
+      let interval = max 1 cfg.Config.sample_interval in
+      let gauge name =
+        Tr.emitter trace ~track:(Tr.track trace name) Tr.Queue_depth
+      in
+      let d_trans = gauge "translate-queue" in
+      let d_mgr = gauge "mgr-queue" in
+      let d_l2d = gauge "l2d-queue" in
+      let d_events = gauge "events" in
+      let next = ref 0 in
+      Event_queue.set_probe q (fun ~now ~pending ->
+          if now >= !next then begin
+            next := now + interval;
+            Tr.emit d_trans ~cycle:now ~arg:(Manager.queue_length manager);
+            Tr.emit d_mgr ~cycle:now ~arg:(Manager.mgr_queue_length manager);
+            Tr.emit d_l2d ~cycle:now ~arg:(Memsys.bank_queue_total memsys);
+            Tr.emit d_events ~cycle:now ~arg:pending
+          end)
+    end;
+    let fault_emit =
+      Tr.emitter trace ~track:(Tr.track trace "faults") Tr.Fault_inject
+    in
+    let masked (e : Fault.event) =
+      rb <> None
+      && List.exists
+           (fun le ->
+             le.le_at = e.at
+             && le.le_role = e.site.role
+             && le.le_index = e.site.index
+             && le.le_kind = Fault.kind_to_string e.kind
+             && List.mem le.le_role critical_roles)
+           ledger
+    in
+    schedule_faults ~fault_emit ?rb ~masked inst stats q faults;
+    if cfg.Config.fault_tolerance then
+      start_watchdog exec stats q ~stall_cycles:cfg.Config.watchdog_stall_cycles;
+    let apply_quarantine le =
+      Stats.incr stats "recovery.quarantines";
+      let grid = Layout.grid inst.i_layout in
+      match le.le_role with
+      | "l2d" -> Memsys.recovery_retire_bank memsys le.le_index
+      | "manager" -> Grid.fail_tile grid (Layout.manager inst.i_layout)
+      | "mmu" -> Grid.fail_tile grid (Layout.mmu inst.i_layout)
+      | "exec" -> Grid.fail_tile grid (Layout.exec inst.i_layout)
+      | "syscall" -> Grid.fail_tile grid (Layout.syscall inst.i_layout)
+      | role -> invalid_arg ("Vm.run: unknown quarantine role " ^ role)
+    in
+    (* Rollbacks that restored to cycle 0 (the fault fired before the
+       first checkpoint): their quarantines belong at machine bring-up. *)
+    List.iter (fun le -> if le.le_restore = 0 then apply_quarantine le) ledger;
+    let last_cp = ref 0 in
+    (* Checkpoints at or past the frontier are new ground: only those are
+       handed to [on_checkpoint]. Everything earlier is replay of cycles a
+       previous attempt (or the halted original process) already owned. *)
+    let frontier =
+      List.fold_left
+        (fun acc le -> max acc le.le_restore)
+        (match restore_from with Some s -> Snap.cycle s | None -> 0)
+        ledger
+    in
+    (match interval with
+     | None -> ()
+     | Some every ->
+       let capture now =
+         let sched =
+           let b = Snap.Wr.create () in
+           Snap.Wr.int b now;
+           Snap.Wr.int b (Event_queue.next_seq q);
+           Snap.Wr.int b (Event_queue.pending q);
+           Snap.Wr.int b (Grid.failed_tiles (Layout.grid inst.i_layout));
+           Snap.Wr.contents b
+         in
+         let ints l =
+           let b = Snap.Wr.create () in
+           Snap.Wr.int_list b l;
+           Snap.Wr.contents b
+         in
+         let stats_s =
+           let b = Snap.Wr.create () in
+           let al = Stats.to_alist stats in
+           Snap.Wr.int b (List.length al);
+           List.iter
+             (fun (k, v) ->
+               Snap.Wr.string b k;
+               Snap.Wr.int b v)
+             al;
+           Snap.Wr.contents b
+         in
+         Snap.v ~cycle:now ~fingerprint:fp ~interval:every
+           ~sections:
+             [ ("sched", sched);
+               ("exec", Exec.capture exec);
+               ("mgr", Manager.capture manager);
+               ("l2d", Memsys.capture memsys);
+               ("morph", ints (Morph.capture morph));
+               ("fault", ints [ Fault.count_before faults ~cycle:now ]);
+               ("stats", stats_s);
+               ("recovery", encode_ledger ledger);
+               (* Trace counters are observational high-water marks, not
+                  replayed machine state: excluded from restore
+                  verification (any section named "trace*" is). *)
+               ("trace.hwm",
+                ints
+                  [ Tr.length trace; Tr.total trace; Tr.dropped trace;
+                    Tr.max_cycle trace ]) ]
+       in
+       let rec chain at =
+         Event_queue.schedule q ~at (fun () ->
+             let dead =
+               match rb with Some c -> c.rb_terminal <> None | None -> false
+             in
+             if (not (Exec.finished exec)) && not dead then begin
+               let snap = capture at in
+               (match restore_from with
+                | Some ref_snap when Snap.cycle ref_snap = at ->
+                  (* The replay has reached the cycle the snapshot was
+                     taken at: every machine section must match byte for
+                     byte, or the restore is not a restore. *)
+                  (* The recovery ledger is provenance, not machine
+                     state: a resumed run that rolls back again before
+                     this cycle re-verifies under a longer ledger than
+                     the snapshot recorded, with an identical machine. *)
+                  let diverging =
+                    List.filter
+                      (fun name ->
+                        name <> "recovery"
+                        && not
+                             (String.length name >= 5
+                              && String.sub name 0 5 = "trace"))
+                      (Snap.diff ref_snap snap)
+                  in
+                  if diverging <> [] then
+                    failwith
+                      (Printf.sprintf
+                         "Vm.run: restore verification failed at cycle %d; \
+                          diverging sections: %s"
+                         at
+                         (String.concat ", " diverging))
+                | _ -> ());
+               if at >= frontier then
+                 (match on_checkpoint with Some f -> f snap | None -> ());
+               last_cp := at;
+               List.iter
+                 (fun le -> if le.le_restore = at then apply_quarantine le)
+                 ledger;
+               (* Reschedule only while the machine still has work in
+                  flight, so a genuine deadlock is still detected as one
+                  (an unconditional chain would tick on to max_cycles). *)
+               if Event_queue.pending q > 0 then chain (at + every)
+             end)
+       in
+       chain every);
+    let outcome = ref None in
+    Exec.start exec ~fuel ~on_finish:(fun o -> outcome := Some o);
+    let terminal = ref None in
+    let rec drive () =
+      match !outcome with
+      | Some _ -> ()
+      | None -> (
+        match rb with
+        | Some ctx when ctx.rb_terminal <> None -> terminal := ctx.rb_terminal
+        | _ ->
+          if Event_queue.now q > max_cycles then
+            outcome := Some (Exec.Fault "simulation cycle limit exceeded")
+          else if Event_queue.step q then drive ()
+          else outcome := Some (Exec.Fault "simulation deadlock: no events"))
+    in
+    drive ();
+    let finalize outcome =
+      let cycles = max (Event_queue.now q) (Exec.local_time exec) in
+      Stats.add stats "total.cycles" cycles;
+      Stats.add stats "total.guest_insns" (Exec.guest_instructions exec);
+      Stats.add stats "morph.count" (Morph.morphs morph);
+      Stats.add stats "mmu.tlb_hits" (Memsys.tlb_hits memsys);
+      Stats.add stats "mmu.tlb_misses" (Memsys.tlb_misses memsys);
+      (* Service-queue high-water marks (tracked unconditionally; see
+         Service.max_queue_length) — the congestion signature behind the
+         paper's Figure 5 without needing a full trace. *)
+      Stats.set_max stats "svc.mgr_queue_hwm" (Manager.mgr_max_queue manager);
+      Stats.set_max stats "svc.l15_queue_hwm" (Manager.l15_max_queue manager);
+      Stats.set_max stats "svc.mmu_queue_hwm" (Memsys.mmu_max_queue memsys);
+      Stats.set_max stats "svc.l2d_queue_hwm" (Memsys.bank_max_queue memsys);
+      Stats.add stats "fault.dropped_requests"
+        (Manager.dropped_requests manager + Memsys.dropped_requests memsys);
+      Stats.add stats "fault.failed_tiles"
+        (Grid.failed_tiles (Layout.grid inst.i_layout));
+      Stats.add stats "corrupt.messages"
+        (Manager.corrupted_messages manager + Memsys.corrupted_messages memsys);
+      Stats.add stats "corrupt.duplicated"
+        (Manager.duplicated_messages manager + Memsys.duplicated_messages memsys);
+      { outcome;
+        cycles;
+        guest_insns = Exec.guest_instructions exec;
+        output = Exec.output exec;
+        digest = Exec.digest exec;
+        stats }
+    in
+    match !terminal with
+    | Some t ->
+      `Terminal
+        ( t,
+          !last_cp,
+          fun () ->
+            Stats.incr stats "fault.unrecoverable";
+            let msg =
+              if t.t_role = "l2d" then
+                Printf.sprintf "uncorrectable L2D parity error (bank %d)"
+                  t.t_index
+              else
+                Printf.sprintf "unrecoverable fault: %s tile failed"
+                  (match t.t_role with
+                   | "mmu" -> "MMU"
+                   | "exec" -> "execution"
+                   | r -> r)
+            in
+            finalize (Exec.Fault msg) )
+    | None -> `Done (finalize (Option.get !outcome))
   in
-  schedule_faults ~fault_emit inst stats q faults;
-  if cfg.Config.fault_tolerance then
-    start_watchdog exec stats q ~stall_cycles:cfg.Config.watchdog_stall_cycles;
-  let outcome = ref None in
-  Exec.start exec ~fuel ~on_finish:(fun o -> outcome := Some o);
-  let rec drive () =
-    match !outcome with
-    | Some _ -> ()
-    | None ->
-      if Event_queue.now q > max_cycles then
-        outcome := Some (Exec.Fault "simulation cycle limit exceeded")
-      else if Event_queue.step q then drive ()
-      else outcome := Some (Exec.Fault "simulation deadlock: no events")
+  let replayed ledger =
+    List.fold_left (fun acc le -> acc + (le.le_at - le.le_restore)) 0 ledger
   in
-  drive ();
-  let outcome = Option.get !outcome in
-  let cycles = max (Event_queue.now q) (Exec.local_time exec) in
-  Stats.add stats "total.cycles" cycles;
-  Stats.add stats "total.guest_insns" (Exec.guest_instructions exec);
-  Stats.add stats "morph.count" (Morph.morphs morph);
-  Stats.add stats "mmu.tlb_hits" (Memsys.tlb_hits memsys);
-  Stats.add stats "mmu.tlb_misses" (Memsys.tlb_misses memsys);
-  (* Service-queue high-water marks (tracked unconditionally; see
-     Service.max_queue_length) — the congestion signature behind the
-     paper's Figure 5 without needing a full trace. *)
-  Stats.set_max stats "svc.mgr_queue_hwm" (Manager.mgr_max_queue manager);
-  Stats.set_max stats "svc.l15_queue_hwm" (Manager.l15_max_queue manager);
-  Stats.set_max stats "svc.mmu_queue_hwm" (Memsys.mmu_max_queue memsys);
-  Stats.set_max stats "svc.l2d_queue_hwm" (Memsys.bank_max_queue memsys);
-  Stats.add stats "fault.dropped_requests"
-    (Manager.dropped_requests manager + Memsys.dropped_requests memsys);
-  Stats.add stats "fault.failed_tiles" (Grid.failed_tiles (Layout.grid inst.i_layout));
-  Stats.add stats "corrupt.messages"
-    (Manager.corrupted_messages manager + Memsys.corrupted_messages memsys);
-  Stats.add stats "corrupt.duplicated"
-    (Manager.duplicated_messages manager + Memsys.duplicated_messages memsys);
-  { outcome;
-    cycles;
-    guest_insns = Exec.guest_instructions exec;
-    output = Exec.output exec;
-    digest = Exec.digest exec;
-    stats }
+  let add_recovery_stats res ledger =
+    (* Only after a real rollback: a fault-free (or fully recovered-by-
+       other-means) run keeps a stats table identical to a run with
+       checkpointing off. *)
+    let rollbacks = List.length ledger in
+    if rollbacks > 0 then begin
+      Stats.add res.stats "recovery.rollbacks" rollbacks;
+      Stats.add res.stats "recovery.replayed_cycles" (replayed ledger)
+    end;
+    res
+  in
+  let rec loop ~ledger ~attempts =
+    match attempt ~ledger with
+    | `Done res -> add_recovery_stats res ledger
+    | `Terminal (t, restore, give_up) ->
+      if attempts >= max_rollbacks then add_recovery_stats (give_up ()) ledger
+      else
+        loop
+          ~ledger:
+            (ledger
+            @ [ { le_at = t.t_at; le_role = t.t_role; le_index = t.t_index;
+                  le_kind = t.t_kind; le_restore = restore } ])
+          ~attempts:(attempts + 1)
+  in
+  loop ~ledger:init_ledger ~attempts:0
 
 let slowdown result ~piii_cycles =
   if piii_cycles <= 0 then infinity

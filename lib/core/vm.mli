@@ -22,6 +22,10 @@ type result = {
 val run :
   ?input:string -> ?memo:Translate.Memo.t -> ?fuel:int -> ?max_cycles:int ->
   ?faults:Fault.plan -> ?trace:Vat_trace.Trace.t ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Vat_snapshot.Snapshot.t -> unit) ->
+  ?restore_from:Vat_snapshot.Snapshot.t ->
+  ?max_rollbacks:int ->
   Config.t -> Program.t ->
   result
 (** [fuel] defaults to 50M guest instructions; [max_cycles] (default 2G)
@@ -48,7 +52,39 @@ val run :
     instants. Tracing never changes modelled timing: a traced run's
     cycles, digest, and stats are identical to the untraced run's, and
     with the disabled recorder the whole subsystem reduces to dead
-    branches. Export with {!Vat_trace.Chrome} or {!Vat_trace.Report}. *)
+    branches. Export with {!Vat_trace.Chrome} or {!Vat_trace.Report}.
+
+    {2 Checkpoint / rollback-recovery}
+
+    [checkpoint_every] (off by default; [Invalid_argument] if [<= 0])
+    takes a whole-machine {!Vat_snapshot.Snapshot} every that many cycles
+    and hands each to [on_checkpoint]. Capturing is pure observation: a
+    fault-free checkpointed run's cycles, digest, output and stats are
+    byte-identical to the same run with checkpointing off.
+
+    Checkpointing also arms rollback-recovery: the two previously-terminal
+    fault families — an uncorrectable L2D parity loss (a corrupt dirty
+    line) and a critical-tile fail-stop (exec/manager/MMU/syscall) — no
+    longer end the run. The machine restores the last good checkpoint by
+    verified deterministic replay, quarantines the offending bank or tile,
+    masks the already-survived fault event, and continues; the recovery
+    ledger travels inside every snapshot so resumed runs converge on the
+    same decisions. After [max_rollbacks] (default 64) distinct rollbacks
+    the run gives up with the legacy [Fault] outcome. Recovered runs add
+    ["recovery.rollbacks"] and ["recovery.replayed_cycles"] to [stats];
+    runs that never rolled back add nothing.
+
+    [restore_from] resumes from a snapshot: the simulator re-executes from
+    cycle 0 under the snapshot's own interval and ledger, checks byte-for-
+    byte that every machine section matches when the snapshot cycle is
+    reached, and only then treats later cycles as new ground (fresh
+    checkpoints at earlier cycles are suppressed from [on_checkpoint]).
+    An interrupted-and-resumed run is cycle-, digest-, and
+    stats-identical to the uninterrupted one. Raises [Invalid_argument]
+    if the snapshot's fingerprint does not match this
+    configuration/program/input/limits/fault plan, and [Failure] if
+    replay diverges from the snapshot (a determinism bug, not a user
+    error). *)
 
 val fault_menu :
   ?recoverable_only:bool -> ?classes:Fault.kind_class list -> Config.t ->

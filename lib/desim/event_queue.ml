@@ -64,6 +64,7 @@ let schedule t ~at action =
 let after t ~delay action = schedule t ~at:(t.clock + delay) action
 
 let pending t = t.size
+let next_seq t = t.next_seq
 
 let pop t =
   let top = t.heap.(0) in

@@ -21,6 +21,11 @@ val after : t -> delay:int -> (unit -> unit) -> unit
 val pending : t -> int
 (** Number of events not yet fired. *)
 
+val next_seq : t -> int
+(** Total events ever scheduled (the next insertion-order tiebreak). A
+    deterministic scheduler cursor: two runs that have scheduled the same
+    event sequence agree on it, so it belongs in a checkpoint. *)
+
 val set_probe : t -> (now:int -> pending:int -> unit) -> unit
 (** Install an observation hook called on every {!step}, after the clock
     advances and before the event's action runs, with the new time and

@@ -61,6 +61,9 @@ let make ~seed events = { seed; events = List.stable_sort compare_event events }
 let seed p = p.seed
 let events p = p.events
 
+let count_before p ~cycle =
+  List.length (List.filter (fun e -> e.at < cycle) p.events)
+
 (* A fault plan is a pure function of (seed, horizon, menu, count): the
    same arguments always produce the same schedule, which is what makes a
    faulty run replayable from a single integer. *)

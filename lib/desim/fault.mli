@@ -81,6 +81,11 @@ val random :
 val seed : plan -> int
 val events : plan -> event list
 
+val count_before : plan -> cycle:int -> int
+(** Events scheduled strictly before [cycle] — the fault-plan cursor at a
+    checkpoint boundary (a pure function of the plan, so reference and
+    replayed runs agree on it). *)
+
 val kind_to_string : kind -> string
 val site_to_string : site -> string
 val event_to_string : event -> string

@@ -40,5 +40,7 @@ let ratio t num den =
 let names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
 
+let to_alist t = List.map (fun name -> (name, get t name)) (names t)
+
 let pp ppf t =
   List.iter (fun name -> Format.fprintf ppf "%-40s %d@." name (get t name)) (names t)

@@ -33,4 +33,8 @@ val ratio : t -> string -> string -> float
 val names : t -> string list
 (** All counter names seen so far, sorted. *)
 
+val to_alist : t -> (string * int) list
+(** All counters as (name, value) pairs, sorted by name — a deterministic
+    serialization order for checkpoints. *)
+
 val pp : Format.formatter -> t -> unit

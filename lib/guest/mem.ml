@@ -11,6 +11,9 @@ let create ~size =
 
 let size t = Bytes.length t.data
 
+let copy t =
+  { data = Bytes.copy t.data; pages = t.pages; gens = Array.copy t.gens }
+
 let check t addr n access =
   if addr < 0 || addr + n > Bytes.length t.data then
     raise (Fault { addr; access })

@@ -15,6 +15,11 @@ val create : size:int -> t
     number of pages. *)
 
 val size : t -> int
+
+val copy : t -> t
+(** Deep copy: fresh backing store and page generations. Writes to either
+    copy never alias the other. *)
+
 val page_size : int
 (** 4096 bytes. *)
 

@@ -32,6 +32,9 @@ let of_asm ?(mem_size = 4 * 1024 * 1024) ?(origin = default_origin) items =
     page_table = Array.init pages (fun vpage -> vpage);
     symbols = asm.symbols }
 
+let clone t =
+  { t with mem = Mem.copy t.mem; page_table = Array.copy t.page_table }
+
 let symbol t name =
   match Hashtbl.find_opt t.symbols name with
   | Some v -> v

@@ -26,6 +26,13 @@ val of_asm : ?mem_size:int -> ?origin:int -> Asm.item list -> t
     enters at the symbol ["start"] if defined, else at [origin].
     [mem_size] defaults to 4 MiB. *)
 
+val clone : t -> t
+(** A pristine copy whose memory image and page table do not alias [t]:
+    running one clone never dirties another. Rollback-recovery replays
+    each attempt against a fresh clone so stores from an abandoned
+    attempt cannot leak into the next. The symbol table is shared
+    (read-only after assembly). *)
+
 val symbol : t -> string -> int
 (** Raises [Asm.Error] for unknown symbols. *)
 

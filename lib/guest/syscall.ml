@@ -17,6 +17,7 @@ let create_world ?(input = "") ~brk0 () =
 
 let output w = Buffer.contents w.out
 let brk_value w = w.brk
+let input_pos w = w.input_pos
 
 type result = Continue of int | Exit of int
 

@@ -26,6 +26,9 @@ val output : world -> string
 
 val brk_value : world -> int
 
+val input_pos : world -> int
+(** How far the guest has read into the input stream (checkpoint state). *)
+
 type result =
   | Continue of int   (** value to put in EAX *)
   | Exit of int       (** guest called exit(status) *)

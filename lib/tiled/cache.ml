@@ -134,35 +134,63 @@ let flush t =
    preferring clean lines (whose loss is recoverable by a DRAM refetch).
    Dirty lines are only hit when [allow_dirty] asks for the unrecoverable
    variant explicitly. *)
-let corrupt_line t ~salt ~allow_dirty =
+let corrupt_line ?(prefer_dirty = false) t ~salt ~allow_dirty =
   let n = Array.length t.tags in
   if n = 0 then `Absorbed
   else begin
     let start = (salt * 0x9E3779B1) land max_int mod n in
     let found = ref `Absorbed in
+    let scan_clean () =
+      for k = 0 to n - 1 do
+        let s = (start + k) mod n in
+        if t.tags.(s) <> -1 && (not t.dirty.(s)) && not t.corrupt.(s) then begin
+          t.corrupt.(s) <- true;
+          found := `Clean;
+          raise Exit
+        end
+      done
+    in
+    let scan_dirty () =
+      for k = 0 to n - 1 do
+        let s = (start + k) mod n in
+        if t.tags.(s) <> -1 && t.dirty.(s) && not t.corrupt.(s) then begin
+          t.corrupt.(s) <- true;
+          found := `Dirty;
+          raise Exit
+        end
+      done
+    in
     (try
-       for k = 0 to n - 1 do
-         let s = (start + k) mod n in
-         if t.tags.(s) <> -1 && (not t.dirty.(s)) && not t.corrupt.(s) then begin
-           t.corrupt.(s) <- true;
-           found := `Clean;
-           raise Exit
-         end
-       done;
-       if allow_dirty then
-         for k = 0 to n - 1 do
-           let s = (start + k) mod n in
-           if t.tags.(s) <> -1 && not t.corrupt.(s) then begin
-             t.corrupt.(s) <- true;
-             found := `Dirty;
-             raise Exit
-           end
-         done
+       if allow_dirty && prefer_dirty then begin
+         scan_dirty ();
+         scan_clean ()
+       end
+       else begin
+         scan_clean ();
+         if allow_dirty then scan_dirty ()
+       end
      with Exit -> ());
     !found
   end
 
 let parity_events t = t.parity_events
+
+(* Order-dependent polynomial hash over the whole mutable state; two
+   caches digest equal iff every tag, LRU stamp, dirty/corrupt bit and
+   counter matches (up to hash collision). Used by checkpoints in place
+   of serializing the arrays. *)
+let state_digest t =
+  let h = ref 0x1505 in
+  let mix x = h := ((!h * 0x100000001b3) + x + 1) land max_int in
+  Array.iter mix t.tags;
+  Array.iter mix t.lru;
+  Array.iter (fun d -> mix (if d then 1 else 0)) t.dirty;
+  Array.iter (fun c -> mix (if c then 1 else 0)) t.corrupt;
+  mix t.tick;
+  mix t.hits;
+  mix t.misses;
+  mix t.parity_events;
+  !h
 
 let hits t = t.hits
 let misses t = t.misses

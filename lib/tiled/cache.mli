@@ -33,12 +33,21 @@ type result = {
 val access : t -> addr:int -> write:bool -> result
 (** Look up (and on miss, allocate) the line containing [addr]. *)
 
-val corrupt_line : t -> salt:int -> allow_dirty:bool -> [ `Clean | `Dirty | `Absorbed ]
+val corrupt_line :
+  ?prefer_dirty:bool ->
+  t -> salt:int -> allow_dirty:bool -> [ `Clean | `Dirty | `Absorbed ]
 (** Storage-corruption injection: flip bits in one resident line, chosen
     deterministically from [salt]. Clean lines are preferred (their loss
     is recoverable); a dirty line is only corrupted when [allow_dirty],
     and [`Absorbed] means no eligible line was resident (the particle hit
-    empty silicon). *)
+    empty silicon). [prefer_dirty] (with [allow_dirty]) inverts the
+    preference — rollback-recovery runs use it so the uncorrectable
+    dirty-loss path is actually exercised. *)
+
+val state_digest : t -> int
+(** Hash of the complete mutable state (tags, LRU, dirty/corrupt bits,
+    counters); equal digests mean indistinguishable caches. A checkpoint
+    section ingredient. *)
 
 val parity_events : t -> int
 (** Corrupt clean lines detected and scrubbed by accesses so far. *)

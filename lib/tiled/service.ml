@@ -146,6 +146,30 @@ let submit t ~delay req =
 
 let queue_length t = Queue.length t.pending + if t.in_service then 1 else 0
 let max_queue_length t = t.max_queue
+
+(* Checkpoint observation: every mutable scalar of the service, in a
+   fixed order. Requests themselves are closures/records the snapshot
+   layer cannot serialize, so only counts are captured — enough for the
+   verified-replay restore protocol, which compares state rather than
+   reconstructing it. *)
+let capture t =
+  let b v = if v then 1 else 0 in
+  [ Queue.length t.pending;
+    b t.in_service;
+    b t.paused;
+    t.busy_cycles;
+    t.served;
+    List.length t.waiters;
+    b t.failed;
+    t.slow_factor;
+    t.slow_until;
+    t.drop_budget;
+    t.dropped;
+    t.corrupt_budget;
+    t.corrupted;
+    t.dup_budget;
+    t.duplicated;
+    t.max_queue ]
 let busy_cycles t = t.busy_cycles
 let served t = t.served
 

@@ -44,6 +44,13 @@ val set_probe :
 
 val served : _ t -> int
 
+val capture : _ t -> int list
+(** Every mutable scalar of the service (queue length, in-service and
+    paused flags, busy/served/dropped/corrupted/duplicated counters, fault
+    budgets, slow-down state, waiter count, queue high-water mark) in a
+    fixed order — the service's contribution to a checkpoint section.
+    Pure observation: calling it never perturbs timing. *)
+
 val drain_then : _ t -> (unit -> unit) -> unit
 (** Run an action once the service is idle with an empty queue (used by
     reconfiguration to let a tile finish its current work before it

@@ -19,6 +19,7 @@ let () =
       ("faults", Test_faults.suite);
       ("integrity", Test_integrity.suite);
       ("faultspec", Test_faultspec.suite);
+      ("snapshot", Test_snapshot.suite);
       ("trace", Test_trace.suite);
       ("cli", Test_cli.suite);
       ("workloads", Test_workloads.suite) ]

@@ -90,6 +90,111 @@ let test_bad_fault_kinds () =
      in
      has "cosmic-ray")
 
+(* --- Exit-code contract ------------------------------------------------
+   0 = simulation completed, 2 = guest fault, 3 = halted at a checkpoint,
+   124 = usage error, 125 = internal error (see the README). These pins
+   keep the codes stable for scripts and CI. *)
+
+let save_image path items =
+  Vat_guest.Image.save path (Vat_guest.Image.of_asm ~origin:0x1000 items)
+
+(* A guest that divides by zero: the simulation itself completes its job
+   (reporting the guest fault), but scripts need to see it failed. *)
+let div0_guest =
+  let open Vat_guest.Asm.Dsl in
+  [ label "start"; mov (r eax) (i 7); mov (r ecx) (i 0); div (r ecx) ]
+
+(* A guest that spins long enough to cross several checkpoint intervals
+   before exiting cleanly. *)
+let spin_guest =
+  let open Vat_guest.Asm.Dsl in
+  [ label "start";
+    mov (r ecx) (i 20_000);
+    label "spin";
+    dec (r ecx);
+    jne "spin";
+    mov (r ebx) (i 0);
+    mov (r eax) (i Vat_guest.Syscall.sys_exit);
+    int_ Vat_guest.Syscall.vector ]
+
+let check_exit name expected args =
+  let code, text = run_cli args in
+  Alcotest.(check int) (name ^ ": exit code (output: " ^ String.trim text ^ ")")
+    expected code;
+  text
+
+let test_exit_codes_usage () =
+  ignore (check_exit "unknown benchmark" 124 "no-such-benchmark");
+  ignore (check_exit "unknown flag" 124 "--no-such-flag");
+  ignore
+    (check_exit "zero checkpoint interval" 124
+       "gzip --checkpoint x.snap --checkpoint-every 0");
+  ignore (check_exit "halt-at without checkpoint" 124 "gzip --halt-at 5");
+  ignore (check_exit "checkpoint without a single bench" 124
+            "--checkpoint x.snap")
+
+let test_exit_code_guest_fault () =
+  let img = "div0.vbin" in
+  save_image img div0_guest;
+  let text = check_exit "guest fault" 2 img in
+  Sys.remove img;
+  Alcotest.(check bool) "reports the fault" true
+    (let has needle =
+       let nl = String.length needle and tl = String.length text in
+       let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+       go 0
+     in
+     has "fault")
+
+let test_exit_code_corrupt_snapshot () =
+  let img = "spin.vbin" in
+  save_image img spin_guest;
+  let snap = "corrupt.snap" in
+  write_file snap "definitely not a snapshot";
+  let r = run_cli (img ^ " --checkpoint " ^ snap) in
+  Sys.remove img;
+  Sys.remove snap;
+  Alcotest.(check int) "corrupt snapshot is a usage error" 124 (fst r);
+  check_clean_failure "corrupt snapshot" r
+
+(* The line "name outcome insns cycles slowdown" summarises the run;
+   a resumed run must reproduce it bit-for-bit. *)
+let result_line text =
+  match
+    List.find_opt
+      (fun line ->
+        let has needle =
+          let nl = String.length needle and tl = String.length line in
+          let rec go i =
+            i + nl <= tl && (String.sub line i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        has "guest insns")
+      (String.split_on_char '\n' text)
+  with
+  | Some l -> l
+  | None -> Alcotest.fail ("no result line in: " ^ text)
+
+let test_exit_code_halt_and_resume () =
+  let img = "spin.vbin" in
+  save_image img spin_guest;
+  let snap = "spin.snap" in
+  if Sys.file_exists snap then Sys.remove snap;
+  let straight = check_exit "straight run" 0 img in
+  let halted =
+    check_exit "halted at checkpoint" 3
+      (img ^ " --checkpoint " ^ snap
+       ^ " --checkpoint-every 10000 --halt-at 15000")
+  in
+  ignore halted;
+  Alcotest.(check bool) "snapshot file saved" true (Sys.file_exists snap);
+  let resumed = check_exit "resumed run" 0 (img ^ " --checkpoint " ^ snap) in
+  Alcotest.(check bool) "spent snapshot removed" false (Sys.file_exists snap);
+  Sys.remove img;
+  Alcotest.(check string) "resumed result identical to straight run"
+    (result_line straight) (result_line resumed)
+
 let test_bad_config () =
   check_clean_failure "bad --translators"
     (run_cli "gzip --translators 99");
@@ -109,4 +214,10 @@ let suite =
     Alcotest.test_case "bad --fault-kinds fails cleanly" `Quick
       test_bad_fault_kinds;
     Alcotest.test_case "bad configuration fails cleanly" `Quick
-      test_bad_config ]
+      test_bad_config;
+    Alcotest.test_case "usage errors exit 124" `Quick test_exit_codes_usage;
+    Alcotest.test_case "guest fault exits 2" `Quick test_exit_code_guest_fault;
+    Alcotest.test_case "corrupt snapshot exits 124" `Quick
+      test_exit_code_corrupt_snapshot;
+    Alcotest.test_case "halt exits 3, resume exits 0 with identical result"
+      `Quick test_exit_code_halt_and_resume ]

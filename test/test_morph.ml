@@ -62,6 +62,124 @@ let test_threshold_respected () =
   Alcotest.(check int) "queue never crossed the bar" 0 (Morph.morphs morph);
   Alcotest.(check int) "still 6 translators" 6 (Manager.active_slaves manager)
 
+(* --- Quarantine monitor boundary conditions --------------------------- *)
+
+let setup_quarantine ~quarantine_threshold =
+  let q = Event_queue.create () in
+  let stats = Stats.create () in
+  let layout = Layout.create (Grid.create ()) in
+  let prog = tiny_program () in
+  let cfg =
+    { Config.default with
+      Config.fault_tolerance = true;
+      quarantine_threshold;
+      morph = Config.No_morph }
+  in
+  let manager =
+    Manager.create q stats cfg layout
+      ~fetch:(Mem.read_u8 prog.Program.mem)
+      ~page_gen:(fun ~page -> Mem.page_generation prog.Program.mem ~page)
+  in
+  let memsys =
+    Memsys.create q stats cfg layout ~page_table:prog.Program.page_table
+  in
+  let (_ : Morph.t) = Morph.create q stats cfg manager memsys in
+  (q, stats, manager, memsys)
+
+(* The quarantine loop reschedules itself forever, so the queue never
+   drains; advance a bounded window past the current clock instead. *)
+let drain q = Event_queue.run_until q ~limit:(Event_queue.now q + 20_000)
+
+let touch q memsys ~addr =
+  let fin = ref false in
+  Memsys.access memsys ~addr ~write:false ~on_done:(fun () -> fin := true);
+  drain q;
+  Alcotest.(check bool) "access completed" true !fin
+
+(* One detected (parity-corrected) corruption on the bank holding [addr]'s
+   line: flip the resident clean line's bits, then read it back. *)
+let detect_one q memsys ~addr =
+  let bank = ref (-1) in
+  for i = 0 to 3 do
+    if !bank < 0 then
+      match Memsys.corrupt_bank memsys i ~salt:1 ~allow_dirty:false with
+      | `Clean -> bank := i
+      | `Dirty | `Absorbed -> ()
+  done;
+  Alcotest.(check bool) "found a resident clean line" true (!bank >= 0);
+  touch q memsys ~addr;
+  !bank
+
+let test_quarantine_at_threshold () =
+  let q, stats, _manager, memsys = setup_quarantine ~quarantine_threshold:2 in
+  let addr = 0x40 in
+  touch q memsys ~addr;
+  let b1 = detect_one q memsys ~addr in
+  Alcotest.(check int) "one detection recorded" 1
+    (Memsys.bank_corruptions memsys).(b1);
+  Alcotest.(check bool) "below threshold: bank still alive" true
+    (Memsys.bank_alive memsys b1);
+  let b2 = detect_one q memsys ~addr in
+  Alcotest.(check int) "second detection on the same bank" b1 b2;
+  (* The next monitor sample (every sample_interval cycles) must retire
+     the bank now that its count equals the threshold exactly. *)
+  drain q;
+  Alcotest.(check bool) "at threshold: bank quarantined" false
+    (Memsys.bank_alive memsys b1);
+  Alcotest.(check int) "counted under corrupt.quarantined_banks" 1
+    (Stats.get stats "corrupt.quarantined_banks")
+
+let test_quarantine_below_threshold () =
+  let q, stats, _manager, memsys = setup_quarantine ~quarantine_threshold:3 in
+  let addr = 0x40 in
+  touch q memsys ~addr;
+  let b1 = detect_one q memsys ~addr in
+  let _b2 = detect_one q memsys ~addr in
+  drain q;
+  Alcotest.(check int) "two detections, threshold three" 2
+    (Memsys.bank_corruptions memsys).(b1);
+  Alcotest.(check bool) "threshold-1 detections: bank untouched" true
+    (Memsys.bank_alive memsys b1);
+  Alcotest.(check int) "nothing quarantined" 0
+    (Stats.get stats "corrupt.quarantined_banks")
+
+let test_quarantine_last_site_guards () =
+  let _q, stats, manager, memsys = setup_quarantine ~quarantine_threshold:1 in
+  (* Quarantining every slave must stop short of the last one: a virtual
+     architecture with zero translators can never make progress. *)
+  for i = 0 to 8 do
+    Manager.quarantine_slave manager i
+  done;
+  Alcotest.(check int) "one slave survives the purge" 1
+    (Manager.usable_slaves manager);
+  Alcotest.(check int) "eight slaves quarantined" 8
+    (Stats.get stats "corrupt.quarantined_slaves");
+  (* Same for the banked L2D: the guard keeps one bank alive. *)
+  for i = 0 to 3 do
+    Memsys.quarantine_bank memsys i
+  done;
+  Alcotest.(check int) "one bank survives the purge" 1
+    (Memsys.alive_banks memsys);
+  Alcotest.(check int) "three banks quarantined" 3
+    (Stats.get stats "corrupt.quarantined_banks")
+
+let test_recovery_retire_bank_unguarded () =
+  let q, stats, _manager, memsys = setup_quarantine ~quarantine_threshold:0 in
+  Memsys.recovery_retire_bank memsys 0;
+  Alcotest.(check bool) "bank 0 dead" false (Memsys.bank_alive memsys 0);
+  Alcotest.(check int) "counted under recovery.quarantined_banks" 1
+    (Stats.get stats "recovery.quarantined_banks");
+  (* Rollback recovery must always be able to retire the faulty bank, so
+     this path deliberately has no last-bank guard: with every bank gone
+     the MMU serves straight from DRAM and accesses still complete. *)
+  for i = 1 to 3 do
+    Memsys.recovery_retire_bank memsys i
+  done;
+  Alcotest.(check int) "no banks left" 0 (Memsys.alive_banks memsys);
+  touch q memsys ~addr:0x40;
+  Alcotest.(check bool) "DRAM-direct fallback used" true
+    (Stats.get stats "fault.uncached_dram_accesses" > 0)
+
 let test_vm_input_plumbing () =
   (* The read syscall must see the input given to Vm.run. *)
   let open Asm.Dsl in
@@ -94,4 +212,12 @@ let suite =
   [ Alcotest.test_case "morphs up then back down" `Quick
       test_morphs_up_then_down;
     Alcotest.test_case "threshold respected" `Quick test_threshold_respected;
+    Alcotest.test_case "quarantine fires exactly at threshold" `Quick
+      test_quarantine_at_threshold;
+    Alcotest.test_case "quarantine holds below threshold" `Quick
+      test_quarantine_below_threshold;
+    Alcotest.test_case "last slave and bank are never quarantined" `Quick
+      test_quarantine_last_site_guards;
+    Alcotest.test_case "recovery retire bypasses the last-bank guard" `Quick
+      test_recovery_retire_bank_unguarded;
     Alcotest.test_case "VM input plumbing" `Quick test_vm_input_plumbing ]
